@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+The heavy experiment matrix (5 dataflows x 3 strategies x 2 scaling
+directions) is computed lazily and shared across every benchmark module in the
+session, so Figures 5, 6 and 8 reuse the same runs exactly as the paper does.
+
+Every benchmark writes its reproduced table/series to ``results/`` (next to
+the repository root) in addition to printing it, so the reproduction output
+survives pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.figures import ExperimentMatrix
+
+#: Directory where reproduced tables and series are written.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    """Write a reproduced table to ``results/<name>.txt`` and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def matrix() -> ExperimentMatrix:
+    """The shared (dag x strategy x scaling) experiment matrix.
+
+    Set ``REPRO_BENCH_FAST=1`` to shorten the post-migration observation
+    window (useful for smoke runs; stabilization/recovery of DSM may then be
+    reported as not-reached).
+    """
+    fast = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+    post = 240.0 if fast else 540.0
+    return ExperimentMatrix(migrate_at_s=90.0, post_migration_s=post, seed=2018)

@@ -1,0 +1,46 @@
+"""Benchmark / reproduction of the §5.1 drain/capture duration comparison.
+
+The paper reports that DCR's drain time exceeds CCR's capture time (Grid
+scale-in: 1875 ms vs 468 ms; Linear scale-in: 905 ms vs 256 ms) and that the
+gap grows with the critical path length of the DAG -- demonstrated with a
+50-task Linear DAG whose drain-time delta is about 4.3 s.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import drain_time_rows
+from repro.experiments.formatting import format_table
+
+from benchmarks.conftest import write_result
+
+
+def _reproduce():
+    return drain_time_rows(migrate_at_s=60.0, post_migration_s=90.0, seed=2018)
+
+
+def test_drain_time(benchmark):
+    rows = benchmark.pedantic(_reproduce, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        columns=["case", "dcr_drain_ms", "dcr_paper_ms", "ccr_capture_ms", "ccr_paper_ms", "delta_ms"],
+        title="Drain (DCR) vs capture (CCR) duration in milliseconds (reproduced vs paper)",
+    )
+    write_result("drain_time", text)
+
+    by_case = {row["case"]: row for row in rows}
+
+    # DCR's drain always takes longer than CCR's capture.
+    for case, row in by_case.items():
+        assert row["dcr_drain_ms"] > row["ccr_capture_ms"], case
+
+    # The drain/capture gap grows with the critical path: Grid (7 tasks deep)
+    # has a larger delta than Linear (5 tasks deep), and the 50-task Linear DAG
+    # has a much larger delta than both.
+    assert by_case["grid scale-in"]["delta_ms"] > by_case["linear scale-in"]["delta_ms"]
+    assert by_case["linear-50 scale-in"]["delta_ms"] > 3.0 * by_case["linear scale-in"]["delta_ms"]
+
+    # Order-of-magnitude agreement with the paper: drains are hundreds of
+    # milliseconds to a few seconds, captures are a fraction of the drain.
+    for case, row in by_case.items():
+        assert 50.0 <= row["dcr_drain_ms"] <= 10_000.0, case
+        assert row["ccr_capture_ms"] <= row["dcr_drain_ms"], case

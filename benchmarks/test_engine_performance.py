@@ -1,0 +1,46 @@
+"""Engine performance benchmarks (not a paper figure).
+
+These measure the wall-clock cost of the simulation substrate itself: the
+event-loop throughput of the kernel and the cost of simulating one second of
+the Grid dataflow.  They guard against performance regressions that would make
+the full experiment matrix impractically slow.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow import topologies
+from repro.sim import Simulator
+
+from tests.conftest import build_cluster, fast_config
+from repro.engine.runtime import TopologyRuntime
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-run throughput of the discrete-event kernel."""
+
+    def run_10k_events():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 0.001, lambda: None)
+        sim.run()
+        return sim.processed_events
+
+    processed = benchmark(run_10k_events)
+    assert processed == 10_000
+
+
+def test_grid_steady_state_simulation_cost(benchmark):
+    """Wall-clock cost of simulating 10 s of the Grid dataflow in steady state."""
+
+    def simulate():
+        sim = Simulator()
+        cluster = build_cluster(sim, worker_vms=11)
+        runtime = TopologyRuntime(topologies.grid(), cluster, sim=sim, config=fast_config("dcr"))
+        runtime.deploy()
+        runtime.start()
+        sim.run(until=10.0)
+        return len(runtime.log.sink_receipts)
+
+    receipts = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    # 32 ev/s for ~10 s minus pipeline fill.
+    assert receipts > 200

@@ -1,0 +1,48 @@
+"""Benchmark / reproduction of Fig. 6: failed-and-replayed message counts for DSM.
+
+The paper reports hundreds to ~2000 replayed messages for DSM (and none for
+DCR/CCR), with the application DAGs (Grid, Traffic) replaying far more than
+the micro DAGs because more in-flight events time out in larger DAGs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import figure6_rows
+from repro.experiments.formatting import format_table
+
+from benchmarks.conftest import write_result
+
+
+def _reproduce(matrix, scaling):
+    rows = figure6_rows(matrix, scaling)
+    text = format_table(
+        rows,
+        columns=["dag", "replayed_messages", "replayed_paper"],
+        title=f"Fig. 6 ({'a' if scaling == 'in' else 'b'}): DSM replayed messages, scale-{scaling} (reproduced vs paper)",
+    )
+    write_result(f"fig6_scale_{scaling}", text)
+    return rows
+
+
+@pytest.mark.parametrize("scaling", ["in", "out"])
+def test_fig6_replayed_messages(benchmark, matrix, scaling):
+    rows = benchmark.pedantic(_reproduce, args=(matrix, scaling), rounds=1, iterations=1)
+    counts = {row["dag"]: row["replayed_messages"] for row in rows}
+
+    # DSM replays a substantial number of messages for every dataflow.
+    for dag, count in counts.items():
+        assert count > 50, dag
+
+    # Application DAGs replay more than micro DAGs (more tasks and input
+    # buffers mean more in-flight events are lost and timed out).
+    micro_mean = (counts["linear"] + counts["diamond"] + counts["star"]) / 3.0
+    app_mean = (counts["grid"] + counts["traffic"]) / 2.0
+    assert app_mean > micro_mean
+
+    # DCR and CCR replay nothing (checked from the same experiment matrix).
+    for dag in counts:
+        for strategy in ("dcr", "ccr"):
+            result = matrix.run(dag, strategy, scaling)
+            assert result.metrics.replayed_message_count == 0, (dag, strategy)

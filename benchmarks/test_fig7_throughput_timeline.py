@@ -1,0 +1,69 @@
+"""Benchmark / reproduction of Fig. 7: throughput timelines during Grid scale-in.
+
+The paper's Fig. 7 shows the input rate (at the source) and output rate (at the
+sink) around the migration request for each strategy.  The qualitative features
+checked here:
+
+* the steady state is 8 ev/s in and 32 ev/s out (Grid has 1:4 selectivity);
+* DCR and CCR pause the source (zero input rate during the migration) while
+  DSM never does;
+* during the restore there is an output gap (zero output) for every strategy;
+* DSM takes much longer than DCR/CCR to return to a stable output rate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure7_series
+from repro.experiments.formatting import format_rate_series
+
+from benchmarks.conftest import write_result
+
+
+def _reproduce(matrix):
+    return figure7_series(matrix, dag="grid", scaling="in", bin_s=5.0)
+
+
+def _rates_between(points, start, end):
+    return [p.rate for p in points if start <= p.time < end]
+
+
+def test_fig7_throughput_timeline(benchmark, matrix):
+    series = benchmark.pedantic(_reproduce, args=(matrix,), rounds=1, iterations=1)
+
+    lines = ["Fig. 7: input/output throughput during Grid scale-in (time relative to migration request)"]
+    for strategy, data in series.items():
+        lines.append(format_rate_series(f"{strategy} input", data["input"]))
+        lines.append(format_rate_series(f"{strategy} output", data["output"]))
+    write_result("fig7_grid_scale_in_timeline", "\n".join(lines))
+
+    for strategy, data in series.items():
+        # Steady state before the migration: 8 ev/s in, 32 ev/s out.
+        pre_in = _rates_between(data["input"], -60.0, -10.0)
+        pre_out = _rates_between(data["output"], -60.0, -10.0)
+        assert abs(sum(pre_in) / len(pre_in) - 8.0) < 1.5, strategy
+        assert abs(sum(pre_out) / len(pre_out) - 32.0) < 4.0, strategy
+
+    # DCR and CCR pause the source: the input rate drops to zero right after
+    # the request; DSM's input never pauses.
+    for strategy in ("dcr", "ccr"):
+        early_in = _rates_between(series[strategy]["input"], 2.0, 12.0)
+        assert min(early_in) == 0.0, strategy
+    dsm_early_in = _rates_between(series["dsm"]["input"], 2.0, 12.0)
+    assert min(dsm_early_in) > 0.0
+
+    # Output gap during the restore for every strategy.
+    for strategy, data in series.items():
+        restore = matrix.run("grid", strategy, "in").metrics.restore_duration_s
+        gap = _rates_between(data["output"], 12.0, max(15.0, restore - 3.0))
+        if gap:
+            assert max(gap) == 0.0, strategy
+
+    # DSM's output is still disturbed (zero or far from stable) well after
+    # CCR has already restored its output.
+    ccr_restore = matrix.run("grid", "ccr", "in").metrics.restore_duration_s
+    dsm_restore = matrix.run("grid", "dsm", "in").metrics.restore_duration_s
+    assert dsm_restore > ccr_restore + 20.0
+
+    # After CCR's restore, its output comes back up.
+    ccr_post = _rates_between(series["ccr"]["output"], ccr_restore + 5.0, ccr_restore + 60.0)
+    assert max(ccr_post) > 20.0

@@ -1,0 +1,66 @@
+"""Benchmark / reproduction of Fig. 8: rate stabilization times.
+
+The paper defines stabilization as the output rate staying within 20 % of the
+expected stable rate for 60 s.  Checked shape: DCR and CCR always stabilize
+within the observation window, CCR no later than DSM, and DSM's stabilization
+(when reached at all) is the largest, growing for the application DAGs.
+
+Note: the reproduction's DSM stabilization times are systematically larger
+than the paper's (see EXPERIMENTS.md) because the simulated per-instance
+capacity cap makes the catch-up period strictly rate-limited; the ordering
+between strategies is preserved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.topologies import PAPER_ORDER
+from repro.experiments.figures import figure8_rows
+from repro.experiments.formatting import format_table
+
+from benchmarks.conftest import write_result
+
+
+def _reproduce(matrix, scaling):
+    rows = figure8_rows(matrix, scaling)
+    text = format_table(
+        rows,
+        columns=["dag", "strategy", "stabilization_s", "stabilization_paper_s"],
+        title=f"Fig. 8 ({'a' if scaling == 'in' else 'b'}): rate stabilization time, scale-{scaling} (reproduced vs paper)",
+    )
+    write_result(f"fig8_scale_{scaling}", text)
+    return rows
+
+
+@pytest.mark.parametrize("scaling", ["in", "out"])
+def test_fig8_stabilization(benchmark, matrix, scaling):
+    rows = benchmark.pedantic(_reproduce, args=(matrix, scaling), rounds=1, iterations=1)
+    cells = {(row["dag"], row["strategy"]): row["stabilization_s"] for row in rows}
+
+    for dag in PAPER_ORDER:
+        dcr = cells[(dag, "dcr")]
+        ccr = cells[(dag, "ccr")]
+        dsm = cells[(dag, "dsm")]
+        # The proposed strategies always stabilize within the observation window.
+        assert dcr is not None, dag
+        assert ccr is not None, dag
+        # CCR stabilizes no later than DCR (it pauses the source for a shorter
+        # time, so there is less backlog to drain), modulo the lumpiness of the
+        # 60 s in-band window detection.
+        assert ccr <= dcr + 30.0, dag
+        # DSM is the worst: either it has not stabilized within the window at
+        # all, or it takes at least as long as CCR.
+        assert dsm is None or dsm >= ccr - 10.0, dag
+
+    # Aggregate ordering across the five dataflows: CCR <= DCR on average.
+    dcr_mean = sum(cells[(dag, "dcr")] for dag in PAPER_ORDER) / len(PAPER_ORDER)
+    ccr_mean = sum(cells[(dag, "ccr")] for dag in PAPER_ORDER) / len(PAPER_ORDER)
+    assert ccr_mean <= dcr_mean + 5.0
+
+    # Stabilization happens after the restore for every strategy that stabilized.
+    for (dag, strategy), stabilization in cells.items():
+        if stabilization is None:
+            continue
+        restore = matrix.run(dag, strategy, scaling).metrics.restore_duration_s
+        assert stabilization >= restore - 10.0, (dag, strategy)

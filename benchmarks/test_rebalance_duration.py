@@ -1,0 +1,32 @@
+"""Benchmark / reproduction of the §5.1 rebalance-duration observation.
+
+The paper: "the rebalance duration ... remains relatively constant across
+dataflows, VM counts and strategies, with an average value of 7.26 secs."
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import PAPER_REBALANCE_DURATION_S, rebalance_duration_summary
+from repro.experiments.formatting import format_table
+
+from benchmarks.conftest import write_result
+
+
+def _reproduce(matrix):
+    return rebalance_duration_summary(matrix, scalings=("in", "out"))
+
+
+def test_rebalance_duration(benchmark, matrix):
+    summary = benchmark.pedantic(_reproduce, args=(matrix,), rounds=1, iterations=1)
+    text = format_table(
+        [summary],
+        columns=["mean_s", "min_s", "max_s", "samples", "paper_mean_s"],
+        title="Rebalance command duration across all experiments (reproduced vs paper)",
+    )
+    write_result("rebalance_duration", text)
+
+    # The mean is close to the paper's 7.26 s and the spread is small
+    # (constant across dataflows, VM counts and strategies).
+    assert abs(summary["mean_s"] - PAPER_REBALANCE_DURATION_S) < 1.0
+    assert summary["max_s"] - summary["min_s"] < 4.0
+    assert summary["samples"] == 30

@@ -1,0 +1,53 @@
+"""Benchmark / reproduction of the §5.1 state-store micro-benchmark.
+
+The paper: "micro-benchmarks show that it takes just 100 ms to checkpoint 2000
+events to Redis from Storm."  This is the calibration target of the simulated
+state store's latency model; the benchmark also measures the real wall-clock
+cost of a simulated checkpoint write (the pytest-benchmark part).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import statestore_micro
+from repro.experiments.formatting import format_table
+from repro.reliability.statestore import StateStore
+from repro.sim import Simulator
+
+from benchmarks.conftest import write_result
+
+
+def test_statestore_checkpoint_latency_model(benchmark):
+    result = benchmark(statestore_micro, 2000)
+    text = format_table(
+        [result],
+        columns=["events", "measured_ms", "paper_ms"],
+        title="State-store micro-benchmark: checkpoint 2000 captured events (reproduced vs paper)",
+    )
+    write_result("statestore_micro", text)
+    assert result["measured_ms"] == pytest.approx(result["paper_ms"], rel=0.25)
+
+
+def test_statestore_simulated_write_throughput(benchmark):
+    """Wall-clock cost of issuing checkpoint writes against the simulated store."""
+    sim = Simulator()
+    store = StateStore(sim)
+
+    def write_batch():
+        for i in range(100):
+            store.put(f"bench/{i}", {"state": {"processed": i}, "pending": []}, 256)
+        sim.run()
+
+    benchmark(write_batch)
+    assert store.stats.puts >= 100
+
+
+def test_statestore_latency_scales_linearly(benchmark):
+    """The latency model is linear in the number of captured events."""
+    def measure():
+        return {n: statestore_micro(n)["measured_ms"] for n in (500, 1000, 2000, 4000)}
+
+    measured = benchmark(measure)
+    assert measured[1000] == pytest.approx(2 * measured[500], rel=0.05)
+    assert measured[4000] == pytest.approx(2 * measured[2000], rel=0.05)

@@ -1,0 +1,39 @@
+"""Benchmark / reproduction of Table 1: tasks, slots and VMs per dataflow."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import table1_rows
+from repro.experiments.formatting import format_table
+
+from benchmarks.conftest import write_result
+
+
+def test_table1_resources(benchmark):
+    rows = benchmark(table1_rows)
+    text = format_table(
+        rows,
+        columns=[
+            "dag",
+            "tasks",
+            "tasks_paper",
+            "instances",
+            "instances_paper",
+            "default_vms",
+            "default_vms_paper",
+            "scale_in_vms",
+            "scale_in_vms_paper",
+            "scale_out_vms",
+            "scale_out_vms_paper",
+        ],
+        title="Table 1: tasks, task instances (slots) and VMs per dataflow (reproduced vs paper)",
+    )
+    write_result("table1_resources", text)
+
+    # The reproduction must match Table 1 exactly: same task counts, instance
+    # counts and VM footprints for every dataflow.
+    for row in rows:
+        assert row["tasks"] == row["tasks_paper"], row["dag"]
+        assert row["instances"] == row["instances_paper"], row["dag"]
+        assert row["default_vms"] == row["default_vms_paper"], row["dag"]
+        assert row["scale_in_vms"] == row["scale_in_vms_paper"], row["dag"]
+        assert row["scale_out_vms"] == row["scale_out_vms_paper"], row["dag"]

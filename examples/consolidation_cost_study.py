@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Cost/locality study: consolidating the Star dataflow onto fewer, larger VMs.
+
+The paper's Fig. 1 motivates scale-in with a consolidation example: moving a
+dataflow from five 2-core VMs at 70 % utilization to two 4-core VMs at 87.5 %
+utilization lowers the bill and the latency (fewer network hops), provided the
+migration itself is reliable and fast.  This example quantifies all three
+effects on the Star micro-DAG:
+
+* it deploys Star on its Table 1 default allocation (4 two-slot D2 VMs);
+* scales it in onto 2 four-slot D3 VMs with the CCR strategy;
+* reports, before and after: worker VMs used, slot utilization, intra- vs
+  inter-VM channels, median end-to-end latency, and the hourly cost rate --
+  plus the §4 migration metrics showing the consolidation lost nothing.
+
+Run with::
+
+    python examples/consolidation_cost_study.py [--scheduler {roundrobin,packing}]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cluster.cloud import CloudProvider, Cluster
+from repro.cluster.scheduler import ResourceAwareScheduler, RoundRobinScheduler
+from repro.cluster.vm import D2, D3
+from repro.core import compute_migration_metrics, strategy_by_name
+from repro.dataflow import topologies
+from repro.engine.runtime import TopologyRuntime
+from repro.experiments.formatting import format_table
+from repro.experiments.scenarios import plan_after_scaling, vm_counts_for
+from repro.metrics.timeline import latency_timeline
+from repro.sim import Simulator
+
+
+def channel_locality(runtime) -> dict:
+    """Count intra-VM vs inter-VM instance-to-instance channels under the current placement."""
+    placement = runtime.placement
+    intra = inter = 0
+    for edge in runtime.dataflow.edges:
+        src_task = runtime.dataflow.task(edge.src)
+        dst_task = runtime.dataflow.task(edge.dst)
+        for src_instance in src_task.instance_ids():
+            for dst_instance in dst_task.instance_ids():
+                if src_instance not in placement.assignments or dst_instance not in placement.assignments:
+                    continue
+                if placement.vm_of(src_instance) == placement.vm_of(dst_instance):
+                    intra += 1
+                else:
+                    inter += 1
+    return {"intra_vm_channels": intra, "inter_vm_channels": inter}
+
+
+def snapshot(label, runtime, worker_vms, log, window):
+    """Utilization, locality, latency and cost-rate snapshot of the current deployment."""
+    used = [vm for vm in worker_vms if vm.occupied_slots]
+    slots_total = sum(len(vm.slots) for vm in used) or 1
+    slots_used = sum(len(vm.occupied_slots) for vm in used)
+    latencies = latency_timeline(log, start=window[0], end=window[1], window_s=10.0)
+    median_latency = sorted(p.latency_s for p in latencies)[len(latencies) // 2] if latencies else float("nan")
+    hourly_rate = sum(vm.vm_type.hourly_cost for vm in used)
+    return {
+        "deployment": label,
+        "worker_vms": f"{len(used)} x {used[0].vm_type.name}" if used else "0",
+        "slot_utilization": f"{slots_used / slots_total:.0%}",
+        "median_latency_ms": round(median_latency * 1000.0, 1),
+        "hourly_cost_rate": round(hourly_rate, 3),
+        **channel_locality(runtime),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scheduler", choices=("roundrobin", "packing"), default="packing",
+                        help="scheduler used for the consolidated placement")
+    args = parser.parse_args()
+    scheduler = RoundRobinScheduler() if args.scheduler == "roundrobin" else ResourceAwareScheduler()
+
+    dataflow = topologies.star()
+    counts = vm_counts_for(dataflow)
+    strategy_cls = strategy_by_name("ccr")
+    config = strategy_cls.runtime_config(seed=7)
+
+    sim = Simulator()
+    provider = CloudProvider(sim)
+    cluster = Cluster()
+    util_vm = provider.provision(D3, 1, name_prefix="util")[0]
+    util_vm.tags["role"] = "util"
+    cluster.add_vm(util_vm)
+    # The starting point is deliberately over-provisioned (as after an earlier
+    # load peak): two more D2 VMs than Table 1 needs, with the round-robin
+    # scheduler spreading the 8 instances across all of them -- the
+    # under-utilized, many-hops deployment of the paper's Fig. 1.
+    initial_vms = provider.provision(D2, counts.default_d2 + 2, name_prefix="d2")
+    for vm in initial_vms:
+        cluster.add_vm(vm)
+
+    # Initial deployment always uses Storm's round-robin scheduler (spread);
+    # the chosen scheduler is applied to the consolidated placement below.
+    runtime = TopologyRuntime(dataflow, cluster, sim=sim, config=config, scheduler=RoundRobinScheduler())
+    runtime.deploy()
+    runtime.start()
+    sim.run(until=150.0)
+    before = snapshot("before (over-provisioned)", runtime, initial_vms, runtime.log, (60.0, 150.0))
+
+    # Consolidate onto 2 D3 VMs with CCR.
+    runtime.scheduler = scheduler
+    target_vms = provider.provision(D3, counts.scale_in_d3, name_prefix="d3")
+    for vm in target_vms:
+        cluster.add_vm(vm)
+    new_plan = plan_after_scaling(runtime, [vm.vm_id for vm in target_vms])
+    migration = strategy_cls(runtime)
+    report = migration.migrate(new_plan)
+    sim.run(until=480.0)
+
+    for vm in initial_vms:
+        if not vm.occupied_slots:
+            provider.deprovision(vm)
+
+    metrics = compute_migration_metrics(
+        runtime.log, report, expected_output_rate=dataflow.output_rate(),
+        dataflow_name=dataflow.name, scenario="scale-in", end_time=sim.now,
+    )
+    after = snapshot("after (consolidated)", runtime, target_vms, runtime.log, (sim.now - 90.0, sim.now))
+
+    print(format_table(
+        [before, after],
+        columns=["deployment", "worker_vms", "slot_utilization", "intra_vm_channels",
+                 "inter_vm_channels", "median_latency_ms", "hourly_cost_rate"],
+        title=f"Star consolidation with CCR ({args.scheduler} scheduler for the new placement)",
+    ))
+    print()
+    print("Migration cost of the consolidation (CCR, §4 metrics):")
+    print(f"  restore {metrics.restore_duration_s:.1f} s, capture {metrics.drain_capture_duration_s * 1000:.0f} ms, "
+          f"rebalance {metrics.rebalance_duration_s:.1f} s, "
+          f"lost {metrics.messages_lost_in_kills}, replayed {metrics.replayed_message_count}")
+    print()
+    saving = (before["hourly_cost_rate"] - after["hourly_cost_rate"]) / before["hourly_cost_rate"]
+    print(f"Consolidation cuts the worker-VM cost rate by {saving:.0%}, raises slot utilization "
+          f"from {before['slot_utilization']} to {after['slot_utilization']}, and makes "
+          f"{after['intra_vm_channels'] - before['intra_vm_channels']} more channels VM-local, "
+          f"without losing or replaying a single message.")
+
+
+if __name__ == "__main__":
+    main()

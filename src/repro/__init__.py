@@ -1,0 +1,65 @@
+"""repro: reliable and rapid elasticity for streaming dataflows on clouds.
+
+A full reproduction of Shukla & Simmhan, *"Toward Reliable and Rapid
+Elasticity for Streaming Dataflows on Clouds"* (ICDCS 2018), built on a
+Storm-like distributed stream processing engine simulated with a deterministic
+discrete-event kernel.
+
+Quickstart
+----------
+>>> from repro import run_migration_experiment
+>>> result = run_migration_experiment(dag="grid", strategy="ccr", scaling="in",
+...                                    migrate_at_s=60, post_migration_s=240)
+>>> result.metrics.restore_duration_s is not None
+True
+
+Package layout
+--------------
+``repro.core``
+    The paper's contribution: the DSM / DCR / CCR migration strategies and the
+    §4 metrics.
+``repro.engine`` / ``repro.dataflow`` / ``repro.cluster`` / ``repro.reliability``
+    The Storm-like substrate: topologies, executors, routing, acking,
+    checkpointing, the state store and the cloud/VM model.
+``repro.experiments`` / ``repro.metrics`` / ``repro.workloads``
+    Experiment harness, measurement infrastructure and synthetic workloads.
+"""
+
+from repro.core import (
+    CaptureCheckpointResume,
+    DefaultStormMigration,
+    DrainCheckpointRestore,
+    MigrationMetrics,
+    MigrationReport,
+    MigrationStrategy,
+    STRATEGIES,
+    compute_migration_metrics,
+    strategy_by_name,
+)
+from repro.dataflow import Dataflow, TopologyBuilder, topologies
+from repro.engine import RuntimeConfig, TopologyRuntime
+from repro.experiments import run_migration_experiment, ScenarioSpec
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CaptureCheckpointResume",
+    "Dataflow",
+    "DefaultStormMigration",
+    "DrainCheckpointRestore",
+    "MigrationMetrics",
+    "MigrationReport",
+    "MigrationStrategy",
+    "RuntimeConfig",
+    "STRATEGIES",
+    "ScenarioSpec",
+    "Simulator",
+    "TopologyBuilder",
+    "TopologyRuntime",
+    "compute_migration_metrics",
+    "run_migration_experiment",
+    "strategy_by_name",
+    "topologies",
+    "__version__",
+]

@@ -1,0 +1,162 @@
+"""Command-line interface for running reproduction experiments.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro describe grid
+    python -m repro experiment --dag grid --strategy ccr --scaling in
+    python -m repro figure table1
+    python -m repro figure fig5 --scaling out
+    python -m repro figure drain
+    python -m repro figure statestore
+
+``experiment`` runs a single migration experiment and prints the §4 metrics;
+``figure`` regenerates one of the paper's tables/figures (the same drivers the
+benchmark harness uses) and prints the reproduced rows next to the paper's
+published values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.dataflow import topologies
+from repro.experiments import run_migration_experiment
+from repro.experiments.figures import (
+    ExperimentMatrix,
+    drain_time_rows,
+    figure5_rows,
+    figure6_rows,
+    figure7_series,
+    figure8_rows,
+    figure9_series,
+    rebalance_duration_summary,
+    statestore_micro,
+    table1_rows,
+)
+from repro.experiments.formatting import (
+    format_latency_series,
+    format_rate_series,
+    format_table,
+)
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    dataflow = topologies.by_name(args.dag)
+    print(dataflow.describe())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    result = run_migration_experiment(
+        dag=args.dag,
+        strategy=args.strategy,
+        scaling=args.scaling,
+        migrate_at_s=args.migrate_at,
+        post_migration_s=args.duration,
+        seed=args.seed,
+    )
+    print(format_table([result.metrics.as_dict()], title="Migration metrics (§4)"))
+    report = result.report
+    print()
+    print("Protocol phases (seconds after the migration request):")
+    for field in ("sources_paused_at", "prepare_completed_at", "commit_completed_at",
+                  "rebalance_started_at", "rebalance_command_completed_at",
+                  "init_completed_at", "sources_unpaused_at", "completed_at"):
+        value = getattr(report, field)
+        if value is not None:
+            print(f"  {field:32s} {value - report.requested_at:8.2f}")
+    print()
+    print(format_table([result.log.summary()], title="Run summary"))
+    return 0
+
+
+def _matrix(args: argparse.Namespace) -> ExperimentMatrix:
+    return ExperimentMatrix(
+        migrate_at_s=args.migrate_at,
+        post_migration_s=args.duration,
+        seed=args.seed,
+        dags=args.dags.split(",") if args.dags else topologies.PAPER_ORDER,
+    )
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "table1":
+        print(format_table(table1_rows(), title="Table 1 (reproduced vs paper)"))
+        return 0
+    if name == "statestore":
+        print(format_table([statestore_micro()], title="State-store micro-benchmark"))
+        return 0
+    if name == "drain":
+        rows = drain_time_rows(seed=args.seed)
+        print(format_table(rows, title="Drain (DCR) vs capture (CCR) durations in ms"))
+        return 0
+
+    matrix = _matrix(args)
+    if name == "fig5":
+        print(format_table(figure5_rows(matrix, args.scaling), title=f"Fig. 5 scale-{args.scaling}"))
+    elif name == "fig6":
+        print(format_table(figure6_rows(matrix, args.scaling), title=f"Fig. 6 scale-{args.scaling}"))
+    elif name == "fig7":
+        series = figure7_series(matrix, dag=args.dag, scaling=args.scaling)
+        for strategy, data in series.items():
+            print(format_rate_series(f"{strategy} input", data["input"]))
+            print(format_rate_series(f"{strategy} output", data["output"]))
+    elif name == "fig8":
+        print(format_table(figure8_rows(matrix, args.scaling), title=f"Fig. 8 scale-{args.scaling}"))
+    elif name == "fig9":
+        series = figure9_series(matrix, dag=args.dag, scaling=args.scaling)
+        for strategy, data in series.items():
+            print(format_latency_series(strategy, data["latency"]))
+    elif name == "rebalance":
+        print(format_table([rebalance_duration_summary(matrix)], title="Rebalance duration summary"))
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown figure {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    describe = sub.add_parser("describe", help="print the structure of a paper dataflow")
+    describe.add_argument("dag", choices=sorted(topologies.PAPER_TOPOLOGIES))
+    describe.set_defaults(func=_cmd_describe)
+
+    experiment = sub.add_parser("experiment", help="run one migration experiment")
+    experiment.add_argument("--dag", default="grid", choices=sorted(topologies.PAPER_TOPOLOGIES))
+    experiment.add_argument("--strategy", default="ccr", choices=("dsm", "dcr", "ccr"))
+    experiment.add_argument("--scaling", default="in", choices=("in", "out"))
+    experiment.add_argument("--migrate-at", type=float, default=90.0, dest="migrate_at")
+    experiment.add_argument("--duration", type=float, default=540.0,
+                            help="post-migration observation window (seconds)")
+    experiment.add_argument("--seed", type=int, default=2018)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's tables/figures")
+    figure.add_argument("name", choices=("table1", "fig5", "fig6", "fig7", "fig8", "fig9",
+                                         "drain", "rebalance", "statestore"))
+    figure.add_argument("--scaling", default="in", choices=("in", "out"))
+    figure.add_argument("--dag", default="grid", choices=sorted(topologies.PAPER_TOPOLOGIES))
+    figure.add_argument("--dags", default="", help="comma-separated subset of dataflows")
+    figure.add_argument("--migrate-at", type=float, default=90.0, dest="migrate_at")
+    figure.add_argument("--duration", type=float, default=540.0)
+    figure.add_argument("--seed", type=int, default=2018)
+    figure.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

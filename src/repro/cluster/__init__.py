@@ -1,0 +1,47 @@
+"""Cloud and cluster substrate.
+
+Models the IaaS layer the paper runs on: Azure D-series virtual machines that
+are divided into single-core resource slots, a cloud provider that provisions
+and bills them, and schedulers that place dataflow task instances onto slots.
+
+The paper's experiments use three VM sizes (Table 1 and §5 "System Setup"):
+
+* **D1** -- 1 core, 1 slot (scale-out target),
+* **D2** -- 2 cores, 2 slots (default deployment),
+* **D3** -- 4 cores, 4 slots (scale-in target; also hosts Redis and the
+  source/sink tasks).
+
+Each slot runs exactly one task instance (executor) and is assigned one
+1-core Intel Xeon E5 v3 CPU with 3.5 GB RAM in the paper; we retain the
+one-executor-per-slot invariant.
+"""
+
+from repro.cluster.vm import Slot, VirtualMachine, VMType, D1, D2, D3, VM_TYPES
+from repro.cluster.cloud import BillingRecord, CloudProvider, Cluster, NetworkModel
+from repro.cluster.placement import PlacementPlan, placement_diff
+from repro.cluster.scheduler import (
+    ResourceAwareScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SchedulingError,
+)
+
+__all__ = [
+    "BillingRecord",
+    "CloudProvider",
+    "Cluster",
+    "D1",
+    "D2",
+    "D3",
+    "NetworkModel",
+    "PlacementPlan",
+    "ResourceAwareScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SchedulingError",
+    "Slot",
+    "VirtualMachine",
+    "VMType",
+    "VM_TYPES",
+    "placement_diff",
+]

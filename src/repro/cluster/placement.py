@@ -1,0 +1,89 @@
+"""Placement plans: the mapping from executors to slots.
+
+A :class:`PlacementPlan` is the output of a scheduler and the input to both
+initial deployment and rebalance.  Migration strategies do not compute plans
+themselves (the paper explicitly scopes resource allocation out); they enact a
+plan that has already been decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+
+@dataclass
+class PlacementPlan:
+    """Mapping from executor id to slot id.
+
+    The plan also remembers which VM each slot belongs to, so that the engine
+    can derive locality without consulting the cluster again.
+    """
+
+    assignments: Dict[str, str] = field(default_factory=dict)
+    slot_to_vm: Dict[str, str] = field(default_factory=dict)
+
+    def assign(self, executor_id: str, slot_id: str, vm_id: str) -> None:
+        """Add one executor-to-slot assignment."""
+        if executor_id in self.assignments:
+            raise ValueError(f"executor {executor_id} is already assigned to {self.assignments[executor_id]}")
+        if slot_id in self.slot_to_vm and slot_id in set(self.assignments.values()):
+            raise ValueError(f"slot {slot_id} is already used in this plan")
+        self.assignments[executor_id] = slot_id
+        self.slot_to_vm[slot_id] = vm_id
+
+    def slot_of(self, executor_id: str) -> str:
+        """Return the slot assigned to the executor."""
+        return self.assignments[executor_id]
+
+    def vm_of(self, executor_id: str) -> str:
+        """Return the VM hosting the executor's assigned slot."""
+        return self.slot_to_vm[self.assignments[executor_id]]
+
+    @property
+    def executors(self) -> List[str]:
+        """All executor ids covered by the plan."""
+        return list(self.assignments.keys())
+
+    @property
+    def vms_used(self) -> Set[str]:
+        """Distinct VMs used by the plan."""
+        return {self.slot_to_vm[s] for s in self.assignments.values()}
+
+    def executors_on_vm(self, vm_id: str) -> List[str]:
+        """All executors placed on the given VM."""
+        return [e for e, s in self.assignments.items() if self.slot_to_vm.get(s) == vm_id]
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def __contains__(self, executor_id: str) -> bool:
+        return executor_id in self.assignments
+
+    def copy(self) -> "PlacementPlan":
+        """Deep-enough copy of the plan."""
+        return PlacementPlan(assignments=dict(self.assignments), slot_to_vm=dict(self.slot_to_vm))
+
+
+def placement_diff(old: PlacementPlan, new: PlacementPlan) -> Tuple[Set[str], Set[str], Set[str]]:
+    """Compare two plans and classify executors.
+
+    Returns ``(migrating, staying, new_executors)`` where
+
+    * ``migrating`` -- executors present in both plans whose slot changed (these
+      are killed and restarted by a rebalance),
+    * ``staying`` -- executors whose slot is unchanged (they keep running and
+      buffer messages during the rebalance),
+    * ``new_executors`` -- executors only present in the new plan.
+    """
+    migrating: Set[str] = set()
+    staying: Set[str] = set()
+    new_executors: Set[str] = set()
+    for executor_id, slot_id in new.assignments.items():
+        if executor_id not in old.assignments:
+            new_executors.add(executor_id)
+        elif old.assignments[executor_id] != slot_id:
+            migrating.add(executor_id)
+        else:
+            staying.add(executor_id)
+    return migrating, staying, new_executors

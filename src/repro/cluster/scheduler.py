@@ -1,0 +1,177 @@
+"""Task-instance schedulers.
+
+Schedulers compute a :class:`~repro.cluster.placement.PlacementPlan` mapping
+executors (task instances) to slots on cluster VMs.  The paper uses Storm's
+default round-robin scheduler "during initial deployment and on rebalance";
+we also provide a resource-aware packing scheduler (in the spirit of R-Storm,
+the paper's reference [3]) as an alternative baseline for ablations.
+
+Executors may be *pinned* to a specific VM: the paper pins the source and sink
+tasks to a dedicated 4-slot VM that never migrates, so end-to-end statistics
+can be logged without clock skew.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.cluster.cloud import Cluster
+from repro.cluster.placement import PlacementPlan
+from repro.cluster.vm import VirtualMachine
+
+
+class SchedulingError(RuntimeError):
+    """Raised when a placement cannot be produced (e.g. not enough free slots)."""
+
+
+class Scheduler(ABC):
+    """Base class for placement schedulers."""
+
+    @abstractmethod
+    def schedule(
+        self,
+        executor_ids: Sequence[str],
+        cluster: Cluster,
+        pinned: Optional[Mapping[str, str]] = None,
+        exclude_vms: Optional[Iterable[str]] = None,
+    ) -> PlacementPlan:
+        """Compute a placement for the given executors.
+
+        Parameters
+        ----------
+        executor_ids:
+            Executors to place, in deterministic order.
+        cluster:
+            The cluster providing VMs and slots.
+        pinned:
+            Optional mapping ``executor_id -> vm_id`` forcing specific
+            executors onto specific VMs (used for source/sink tasks).
+        exclude_vms:
+            VMs that must not receive *unpinned* executors (e.g. the dedicated
+            source/sink VM).
+        """
+
+    # ------------------------------------------------------------- utilities
+    @staticmethod
+    def _place_pinned(
+        plan: PlacementPlan,
+        pinned: Mapping[str, str],
+        cluster: Cluster,
+        used_slots: Set[str],
+    ) -> None:
+        """Place pinned executors on free slots of their designated VMs."""
+        for executor_id, vm_id in pinned.items():
+            if vm_id not in cluster:
+                raise SchedulingError(f"pinned VM {vm_id} for executor {executor_id} is not in the cluster")
+            vm = cluster.vm(vm_id)
+            slot = next((s for s in vm.slots if s.slot_id not in used_slots), None)
+            if slot is None:
+                raise SchedulingError(f"no free slot on pinned VM {vm_id} for executor {executor_id}")
+            plan.assign(executor_id, slot.slot_id, vm_id)
+            used_slots.add(slot.slot_id)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Storm's default even scheduler: distribute executors round-robin over VMs.
+
+    Executors are assigned one at a time, cycling through the eligible VMs in
+    insertion order and taking the next free slot of each VM.  This spreads
+    instances evenly and, as the paper notes, does not try to exploit locality.
+    """
+
+    def schedule(
+        self,
+        executor_ids: Sequence[str],
+        cluster: Cluster,
+        pinned: Optional[Mapping[str, str]] = None,
+        exclude_vms: Optional[Iterable[str]] = None,
+    ) -> PlacementPlan:
+        plan = PlacementPlan()
+        used_slots: Set[str] = set()
+        pinned = dict(pinned or {})
+        excluded = set(exclude_vms or [])
+
+        self._place_pinned(plan, pinned, cluster, used_slots)
+
+        eligible_vms: List[VirtualMachine] = [
+            vm for vm in cluster.vms if vm.vm_id not in excluded
+        ]
+        if not eligible_vms:
+            remaining = [e for e in executor_ids if e not in pinned]
+            if remaining:
+                raise SchedulingError("no eligible VMs available for unpinned executors")
+            return plan
+
+        unpinned = [e for e in executor_ids if e not in pinned]
+        total_free = sum(
+            1 for vm in eligible_vms for s in vm.slots if s.slot_id not in used_slots
+        )
+        if len(unpinned) > total_free:
+            raise SchedulingError(
+                f"not enough free slots: need {len(unpinned)}, have {total_free}"
+            )
+
+        vm_index = 0
+        for executor_id in unpinned:
+            placed = False
+            attempts = 0
+            while not placed and attempts < len(eligible_vms):
+                vm = eligible_vms[vm_index % len(eligible_vms)]
+                vm_index += 1
+                attempts += 1
+                slot = next((s for s in vm.slots if s.slot_id not in used_slots), None)
+                if slot is not None:
+                    plan.assign(executor_id, slot.slot_id, vm.vm_id)
+                    used_slots.add(slot.slot_id)
+                    placed = True
+            if not placed:
+                raise SchedulingError(f"could not place executor {executor_id}")
+        return plan
+
+
+class ResourceAwareScheduler(Scheduler):
+    """Packing scheduler in the spirit of R-Storm.
+
+    Fills each VM's slots completely before moving to the next one, which
+    maximises locality (fewer network hops) and minimises the number of VMs
+    used -- the consolidation scenario motivating scale-in in the paper's
+    Figure 1.
+    """
+
+    def schedule(
+        self,
+        executor_ids: Sequence[str],
+        cluster: Cluster,
+        pinned: Optional[Mapping[str, str]] = None,
+        exclude_vms: Optional[Iterable[str]] = None,
+    ) -> PlacementPlan:
+        plan = PlacementPlan()
+        used_slots: Set[str] = set()
+        pinned = dict(pinned or {})
+        excluded = set(exclude_vms or [])
+
+        self._place_pinned(plan, pinned, cluster, used_slots)
+
+        eligible_vms = [vm for vm in cluster.vms if vm.vm_id not in excluded]
+        unpinned = [e for e in executor_ids if e not in pinned]
+        total_free = sum(
+            1 for vm in eligible_vms for s in vm.slots if s.slot_id not in used_slots
+        )
+        if len(unpinned) > total_free:
+            raise SchedulingError(
+                f"not enough free slots: need {len(unpinned)}, have {total_free}"
+            )
+
+        slot_iter = (
+            (vm, slot)
+            for vm in eligible_vms
+            for slot in vm.slots
+            if slot.slot_id not in used_slots
+        )
+        for executor_id, (vm, slot) in zip(unpinned, slot_iter):
+            plan.assign(executor_id, slot.slot_id, vm.vm_id)
+            used_slots.add(slot.slot_id)
+        if len(plan) < len(unpinned) + len(pinned):
+            raise SchedulingError("could not place all executors")
+        return plan

@@ -1,0 +1,43 @@
+"""The paper's core contribution: reliable and rapid dataflow migration.
+
+Three strategies are provided:
+
+* :class:`~repro.core.dsm.DefaultStormMigration` (``dsm``) -- the baseline:
+  rebalance immediately and recover through acking-based replay plus the last
+  periodic checkpoint.
+* :class:`~repro.core.dcr.DrainCheckpointRestore` (``dcr``) -- pause the
+  sources, drain all in-flight messages, take a just-in-time checkpoint,
+  rebalance, and restore with aggressively re-sent INIT events.
+* :class:`~repro.core.ccr.CaptureCheckpointResume` (``ccr``) -- broadcast the
+  PREPARE, capture in-flight messages in each task's pending list, persist
+  them with the state, and resume them locally after the rebalance.
+
+Use :func:`~repro.core.strategy.strategy_by_name` (or the :data:`STRATEGIES`
+registry) to construct a strategy for a :class:`~repro.engine.runtime.TopologyRuntime`,
+and :func:`~repro.core.metrics.compute_migration_metrics` to evaluate a run.
+"""
+
+from repro.core.strategy import (
+    STRATEGIES,
+    MigrationReport,
+    MigrationStrategy,
+    register_strategy,
+    strategy_by_name,
+)
+from repro.core.dsm import DefaultStormMigration
+from repro.core.dcr import DrainCheckpointRestore
+from repro.core.ccr import CaptureCheckpointResume
+from repro.core.metrics import MigrationMetrics, compute_migration_metrics
+
+__all__ = [
+    "CaptureCheckpointResume",
+    "DefaultStormMigration",
+    "DrainCheckpointRestore",
+    "MigrationMetrics",
+    "MigrationReport",
+    "MigrationStrategy",
+    "STRATEGIES",
+    "compute_migration_metrics",
+    "register_strategy",
+    "strategy_by_name",
+]

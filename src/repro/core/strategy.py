@@ -1,0 +1,142 @@
+"""Migration strategy framework.
+
+A migration strategy enacts an already-planned reschedule of a running
+dataflow (the new placement of executors onto VMs) while managing reliability
+and timeliness.  The paper proposes two strategies (DCR and CCR) and compares
+them against Storm's out-of-the-box behaviour (DSM).  All three are
+implemented as orchestrations of the runtime's existing capabilities --
+pausing sources, emitting checkpoint waves, invoking ``rebalance`` and
+re-sending INIT events -- mirroring the paper's implementation as extensions
+of Storm rather than a new engine.
+
+The strategy records a :class:`MigrationReport` of phase timestamps, from
+which (together with the run's event log) the §4 metrics are computed in
+:mod:`repro.core.metrics`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Type
+
+from repro.cluster.placement import PlacementPlan
+from repro.engine.config import RuntimeConfig
+from repro.engine.runtime import RebalanceRecord, TopologyRuntime
+
+
+@dataclass
+class MigrationReport:
+    """Phase timestamps and bookkeeping for one migration enactment.
+
+    All times are absolute simulated times in seconds; durations are derived
+    by :func:`repro.core.metrics.compute_migration_metrics`.
+    """
+
+    strategy: str
+    requested_at: float
+    sources_paused_at: Optional[float] = None
+    drain_started_at: Optional[float] = None
+    prepare_completed_at: Optional[float] = None
+    commit_completed_at: Optional[float] = None
+    rebalance_started_at: Optional[float] = None
+    rebalance_command_completed_at: Optional[float] = None
+    init_completed_at: Optional[float] = None
+    sources_unpaused_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    checkpoint_id: Optional[int] = None
+    rebalance_record: Optional[RebalanceRecord] = None
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the migration protocol has finished (INIT acked everywhere)."""
+        return self.completed_at is not None
+
+    @property
+    def drain_capture_duration_s(self) -> Optional[float]:
+        """Time from the migration request until the rebalance command is issued.
+
+        This is the paper's Drain (DCR) / Capture (CCR) duration; it is not
+        applicable to DSM (which rebalances immediately) and is reported as 0.
+        """
+        if self.rebalance_started_at is None:
+            return None
+        return self.rebalance_started_at - self.requested_at
+
+    @property
+    def rebalance_duration_s(self) -> Optional[float]:
+        """Duration of the Storm rebalance command itself."""
+        if self.rebalance_started_at is None or self.rebalance_command_completed_at is None:
+            return None
+        return self.rebalance_command_completed_at - self.rebalance_started_at
+
+    @property
+    def protocol_duration_s(self) -> Optional[float]:
+        """Time from request until the strategy's protocol completed."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.requested_at
+
+
+class MigrationStrategy(ABC):
+    """Base class for dataflow migration strategies."""
+
+    #: Short name used in reports, figures and the strategy registry.
+    name: str = "base"
+
+    def __init__(self, runtime: TopologyRuntime, init_resend_interval_s: float = 1.0) -> None:
+        self.runtime = runtime
+        self.init_resend_interval_s = init_resend_interval_s
+        self.report: Optional[MigrationReport] = None
+        self._on_complete: Optional[Callable[[MigrationReport], None]] = None
+
+    # ----------------------------------------------------------- configuration
+    @classmethod
+    def runtime_config(cls, seed: int = 2018) -> RuntimeConfig:
+        """The runtime configuration this strategy requires (acking, checkpoints, capture)."""
+        return RuntimeConfig(seed=seed)
+
+    # ------------------------------------------------------------------- API
+    @abstractmethod
+    def migrate(
+        self,
+        new_plan: PlacementPlan,
+        on_complete: Optional[Callable[[MigrationReport], None]] = None,
+    ) -> MigrationReport:
+        """Enact the migration to ``new_plan``.
+
+        Returns the (initially incomplete) :class:`MigrationReport`, which is
+        filled in asynchronously as the protocol progresses under the
+        simulated clock.  ``on_complete`` fires when the protocol finishes.
+        """
+
+    # --------------------------------------------------------------- helpers
+    def _new_report(self) -> MigrationReport:
+        report = MigrationReport(strategy=self.name, requested_at=self.runtime.sim.now)
+        self.report = report
+        return report
+
+    def _finish(self) -> None:
+        if self.report is not None and self.report.completed_at is None:
+            self.report.completed_at = self.runtime.sim.now
+        if self._on_complete is not None and self.report is not None:
+            self._on_complete(self.report)
+
+
+#: Registry of available strategies, populated by the concrete modules.
+STRATEGIES: Dict[str, Type[MigrationStrategy]] = {}
+
+
+def register_strategy(cls: Type[MigrationStrategy]) -> Type[MigrationStrategy]:
+    """Class decorator adding a strategy to the :data:`STRATEGIES` registry."""
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+def strategy_by_name(name: str) -> Type[MigrationStrategy]:
+    """Look up a strategy class by its short name (``dsm``, ``dcr``, ``ccr``)."""
+    try:
+        return STRATEGIES[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown migration strategy {name!r}; choose from {sorted(STRATEGIES)}") from None

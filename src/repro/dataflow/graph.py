@@ -1,0 +1,271 @@
+"""The dataflow graph (topology).
+
+A :class:`Dataflow` is a validated directed acyclic graph of
+:class:`~repro.dataflow.task.Task` objects connected by :class:`Edge`\\ s.  It
+offers the structural queries the engine and the migration strategies need:
+topological order, entry/exit tasks, per-task steady-state input rates,
+critical path length, and total instance (slot) counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.dataflow.grouping import Grouping
+from repro.dataflow.task import SinkTask, SourceTask, Task, TaskKind
+
+
+class DataflowValidationError(ValueError):
+    """Raised when a dataflow graph is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed stream between two tasks."""
+
+    src: str
+    dst: str
+    grouping: Grouping = Grouping.SHUFFLE
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Edge({self.src} -> {self.dst}, {self.grouping.value})"
+
+
+class Dataflow:
+    """A validated streaming dataflow graph.
+
+    Instances are normally created through
+    :class:`~repro.dataflow.builder.TopologyBuilder` rather than directly.
+    """
+
+    def __init__(self, name: str, tasks: Sequence[Task], edges: Sequence[Edge]) -> None:
+        self.name = name
+        self._tasks: Dict[str, Task] = {}
+        for task in tasks:
+            if task.name in self._tasks:
+                raise DataflowValidationError(f"duplicate task name {task.name!r}")
+            self._tasks[task.name] = task
+        self.edges: List[Edge] = list(edges)
+        self._successors: Dict[str, List[str]] = {t: [] for t in self._tasks}
+        self._predecessors: Dict[str, List[str]] = {t: [] for t in self._tasks}
+        for edge in self.edges:
+            if edge.src not in self._tasks:
+                raise DataflowValidationError(f"edge references unknown task {edge.src!r}")
+            if edge.dst not in self._tasks:
+                raise DataflowValidationError(f"edge references unknown task {edge.dst!r}")
+            self._successors[edge.src].append(edge.dst)
+            self._predecessors[edge.dst].append(edge.src)
+        self._validate()
+        self._topo_order = self._topological_order()
+
+    # ------------------------------------------------------------ validation
+    def _validate(self) -> None:
+        sources = [t for t in self._tasks.values() if t.is_source]
+        sinks = [t for t in self._tasks.values() if t.is_sink]
+        if not sources:
+            raise DataflowValidationError(f"dataflow {self.name!r} has no source task")
+        if not sinks:
+            raise DataflowValidationError(f"dataflow {self.name!r} has no sink task")
+        for task in self._tasks.values():
+            if task.is_source and self._predecessors[task.name]:
+                raise DataflowValidationError(f"source task {task.name!r} has incoming edges")
+            if task.is_sink and self._successors[task.name]:
+                raise DataflowValidationError(f"sink task {task.name!r} has outgoing edges")
+            if not task.is_source and not self._predecessors[task.name]:
+                raise DataflowValidationError(f"task {task.name!r} is unreachable (no incoming edges)")
+            if not task.is_sink and not self._successors[task.name]:
+                raise DataflowValidationError(f"task {task.name!r} is a dead end (no outgoing edges)")
+        # Acyclicity is established by _topological_order raising on a cycle.
+        self._topological_order()
+
+    def _topological_order(self) -> List[str]:
+        in_degree = {name: len(preds) for name, preds in self._predecessors.items()}
+        ready = sorted(name for name, deg in in_degree.items() if deg == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for succ in self._successors[name]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+            ready.sort()
+        if len(order) != len(self._tasks):
+            raise DataflowValidationError(f"dataflow {self.name!r} contains a cycle")
+        return order
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def tasks(self) -> List[Task]:
+        """All tasks in insertion order."""
+        return list(self._tasks.values())
+
+    def task(self, name: str) -> Task:
+        """Return the task with the given name."""
+        if name not in self._tasks:
+            raise KeyError(f"no task named {name!r} in dataflow {self.name!r}")
+        return self._tasks[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    @property
+    def task_names(self) -> List[str]:
+        """Names of all tasks."""
+        return list(self._tasks.keys())
+
+    @property
+    def sources(self) -> List[Task]:
+        """Source tasks."""
+        return [t for t in self._tasks.values() if t.is_source]
+
+    @property
+    def sinks(self) -> List[Task]:
+        """Sink tasks."""
+        return [t for t in self._tasks.values() if t.is_sink]
+
+    @property
+    def user_tasks(self) -> List[Task]:
+        """Processing tasks (excluding sources and sinks), in topological order.
+
+        These are the tasks the paper counts in Table 1 and the ones that are
+        checkpointed and migrated.
+        """
+        order_index = {name: i for i, name in enumerate(self._topo_order)}
+        tasks = [t for t in self._tasks.values() if t.kind is TaskKind.PROCESS]
+        return sorted(tasks, key=lambda t: order_index[t.name])
+
+    @property
+    def entry_tasks(self) -> List[Task]:
+        """User tasks that are directly downstream of a source."""
+        entry_names: Set[str] = set()
+        for source in self.sources:
+            for succ in self._successors[source.name]:
+                if self._tasks[succ].kind is TaskKind.PROCESS:
+                    entry_names.add(succ)
+        return [self._tasks[n] for n in self._topo_order if n in entry_names]
+
+    @property
+    def exit_tasks(self) -> List[Task]:
+        """User tasks that feed directly into a sink."""
+        exit_names: Set[str] = set()
+        for sink in self.sinks:
+            for pred in self._predecessors[sink.name]:
+                if self._tasks[pred].kind is TaskKind.PROCESS:
+                    exit_names.add(pred)
+        return [self._tasks[n] for n in self._topo_order if n in exit_names]
+
+    def successors(self, name: str) -> List[str]:
+        """Downstream task names of ``name``."""
+        return list(self._successors[name])
+
+    def predecessors(self, name: str) -> List[str]:
+        """Upstream task names of ``name``."""
+        return list(self._predecessors[name])
+
+    def out_edges(self, name: str) -> List[Edge]:
+        """Outgoing edges of ``name``."""
+        return [e for e in self.edges if e.src == name]
+
+    def in_edges(self, name: str) -> List[Edge]:
+        """Incoming edges of ``name``."""
+        return [e for e in self.edges if e.dst == name]
+
+    @property
+    def topological_order(self) -> List[str]:
+        """Task names in topological order (ties broken alphabetically)."""
+        return list(self._topo_order)
+
+    # -------------------------------------------------------------- analysis
+    def total_instances(self, include_sources_and_sinks: bool = False) -> int:
+        """Total number of task instances (slots needed).
+
+        By default only user tasks are counted, matching Table 1 of the paper
+        which excludes the source and sink (they live on a dedicated VM).
+        """
+        tasks = self.tasks if include_sources_and_sinks else self.user_tasks
+        return sum(t.parallelism for t in tasks)
+
+    def input_rates(self) -> Dict[str, float]:
+        """Steady-state input event rate of every task (events/second).
+
+        Source tasks are credited with their own generation rate.  Every
+        emitted event is delivered on *each* outgoing edge (Storm semantics:
+        downstream tasks each subscribe to the full stream), so a task's input
+        rate is the sum of its upstream tasks' output rates.
+        """
+        rates: Dict[str, float] = {}
+        for name in self._topo_order:
+            task = self._tasks[name]
+            if task.is_source:
+                rates[name] = float(getattr(task, "rate", 0.0))
+                continue
+            incoming = 0.0
+            for pred in self._predecessors[name]:
+                pred_task = self._tasks[pred]
+                pred_rate = rates[pred]
+                out_rate = pred_rate if pred_task.is_source else pred_rate * pred_task.selectivity
+                incoming += out_rate
+            rates[name] = incoming
+        return rates
+
+    def output_rate(self) -> float:
+        """Steady-state total event rate arriving at the sink tasks."""
+        rates = self.input_rates()
+        return sum(rates[s.name] for s in self.sinks)
+
+    def critical_path_length(self) -> int:
+        """Number of user tasks on the longest source-to-sink path."""
+        longest: Dict[str, int] = {}
+        for name in self._topo_order:
+            task = self._tasks[name]
+            own = 1 if task.kind is TaskKind.PROCESS else 0
+            preds = self._predecessors[name]
+            best_pred = max((longest[p] for p in preds), default=0)
+            longest[name] = best_pred + own
+        return max((longest[s.name] for s in self.sinks), default=0)
+
+    def critical_path_latency(self) -> float:
+        """Sum of task latencies along the longest source-to-sink path (seconds)."""
+        longest: Dict[str, float] = {}
+        for name in self._topo_order:
+            task = self._tasks[name]
+            own = task.latency_s if task.kind is TaskKind.PROCESS else 0.0
+            preds = self._predecessors[name]
+            best_pred = max((longest[p] for p in preds), default=0.0)
+            longest[name] = best_pred + own
+        return max((longest[s.name] for s in self.sinks), default=0.0)
+
+    def apply_auto_parallelism(self, events_per_instance: float = 8.0) -> None:
+        """Set each user task's parallelism from its steady-state input rate.
+
+        The paper assigns "one task instance (thread) for each incremental
+        8 events/sec input rate to a task".
+        """
+        if events_per_instance <= 0:
+            raise ValueError("events_per_instance must be positive")
+        rates = self.input_rates()
+        for task in self.user_tasks:
+            task.parallelism = max(1, math.ceil(rates[task.name] / events_per_instance - 1e-9))
+
+    def describe(self) -> str:
+        """Human-readable multi-line description of the dataflow."""
+        rates = self.input_rates()
+        lines = [f"Dataflow {self.name!r}: {len(self.user_tasks)} user tasks, "
+                 f"{self.total_instances()} instances, critical path {self.critical_path_length()}"]
+        for name in self._topo_order:
+            task = self._tasks[name]
+            preds = ", ".join(self._predecessors[name]) or "-"
+            lines.append(
+                f"  {task.kind.value:7s} {name:20s} x{task.parallelism:<2d} "
+                f"in={rates[name]:5.1f} ev/s  from [{preds}]"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataflow({self.name!r}, tasks={len(self._tasks)}, edges={len(self.edges)}, "
+            f"instances={self.total_instances()})"
+        )

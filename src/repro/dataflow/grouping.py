@@ -1,0 +1,29 @@
+"""Stream groupings: how events are distributed among a downstream task's instances.
+
+Mirrors Storm's groupings.  The paper's experiments use shuffle grouping for
+data events; the CCR strategy additionally relies on an *all* (broadcast)
+channel from the checkpoint source to every task instance.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Grouping(Enum):
+    """Distribution policy for one dataflow edge."""
+
+    #: Round-robin across the downstream task's instances (Storm's default for
+    #: the experiments; load-balances evenly).
+    SHUFFLE = "shuffle"
+    #: Hash of a payload key selects the instance; needed by keyed stateful
+    #: tasks so the same key always lands on the same instance.
+    FIELDS = "fields"
+    #: Every instance of the downstream task receives a copy (Storm's "all"
+    #: grouping); used for checkpoint control channels.
+    ALL = "all"
+    #: All events go to the first instance (Storm's "global" grouping).
+    GLOBAL = "global"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,158 @@
+"""Task definitions: sources, processing tasks and sinks.
+
+A :class:`Task` describes *what* runs (user logic, latency, selectivity,
+statefulness, parallelism); the engine turns each task into ``parallelism``
+executors at deployment time.
+
+User logic follows the paper's experimental setup by default: a dummy
+processor that sleeps for ``latency_s`` (100 ms) per event and emits
+``selectivity`` output payloads per input (1:1 in all paper experiments).
+Stateful tasks additionally maintain a per-instance state dictionary that the
+checkpoint machinery snapshots and restores; the default stateful logic counts
+processed events, mirroring the paper's example of "a count of events seen".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional
+
+
+class TaskKind(Enum):
+    """Role of a task inside the dataflow."""
+
+    SOURCE = "source"
+    PROCESS = "process"
+    SINK = "sink"
+
+
+#: Signature of user processing logic: ``(payload, state) -> list of output payloads``.
+UserLogic = Callable[[Any, Dict[str, Any]], List[Any]]
+
+
+def default_logic(selectivity: float) -> UserLogic:
+    """Return dummy user logic with the given selectivity.
+
+    The integral part of the selectivity determines how many copies of the
+    input payload are emitted; a fractional remainder is handled by the
+    executor through probabilistic emission (not used in the paper's 1:1
+    experiments but supported for generality).
+    """
+
+    def _logic(payload: Any, state: Dict[str, Any]) -> List[Any]:
+        state["processed"] = state.get("processed", 0) + 1
+        count = int(selectivity)
+        return [payload] * count
+
+    return _logic
+
+
+@dataclass
+class Task:
+    """Definition of one dataflow task.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the dataflow.
+    kind:
+        Source, processing task or sink.
+    parallelism:
+        Number of task instances (executors); the paper assigns one instance
+        per incremental 8 events/sec of input rate.
+    latency_s:
+        Per-event processing latency of the user logic (100 ms in the paper).
+    selectivity:
+        Output events emitted per input event (1:1 in the paper).
+    stateful:
+        Whether the task maintains user state that must be checkpointed.
+    logic:
+        Optional user logic; defaults to the dummy sleep-and-forward logic.
+    initial_state:
+        Factory for a fresh per-instance state dictionary.
+    state_size_bytes:
+        Approximate serialized size of the task state, used by the state-store
+        latency model when the state is persisted on COMMIT.
+    """
+
+    name: str
+    kind: TaskKind = TaskKind.PROCESS
+    parallelism: int = 1
+    latency_s: float = 0.1
+    selectivity: float = 1.0
+    stateful: bool = False
+    logic: Optional[UserLogic] = None
+    initial_state: Callable[[], Dict[str, Any]] = field(default=dict)
+    state_size_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if self.parallelism < 1:
+            raise ValueError(f"task {self.name!r}: parallelism must be >= 1")
+        if self.latency_s < 0:
+            raise ValueError(f"task {self.name!r}: latency must be non-negative")
+        if self.selectivity < 0:
+            raise ValueError(f"task {self.name!r}: selectivity must be non-negative")
+        if self.logic is None:
+            self.logic = default_logic(self.selectivity)
+
+    @property
+    def is_source(self) -> bool:
+        """Whether this task is a source."""
+        return self.kind is TaskKind.SOURCE
+
+    @property
+    def is_sink(self) -> bool:
+        """Whether this task is a sink."""
+        return self.kind is TaskKind.SINK
+
+    def instance_ids(self) -> List[str]:
+        """Executor ids for this task, in instance order (``name#0``, ``name#1`` ...)."""
+        return [f"{self.name}#{i}" for i in range(self.parallelism)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.stateful:
+            flags.append("stateful")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"Task({self.name}, {self.kind.value}, x{self.parallelism}, "
+            f"{self.latency_s * 1000:.0f}ms, sel={self.selectivity}{suffix})"
+        )
+
+
+@dataclass
+class SourceTask(Task):
+    """A source task that generates the input stream.
+
+    Attributes
+    ----------
+    rate:
+        Events emitted per second while the source is unpaused (8 ev/s in the
+        paper's experiments).
+    payload_factory:
+        Optional callable ``(sequence_number) -> payload``.
+    """
+
+    rate: float = 8.0
+    payload_factory: Optional[Callable[[int], Any]] = None
+
+    def __post_init__(self) -> None:
+        self.kind = TaskKind.SOURCE
+        self.latency_s = 0.0
+        super().__post_init__()
+        if self.rate <= 0:
+            raise ValueError(f"source {self.name!r}: rate must be positive")
+
+
+@dataclass
+class SinkTask(Task):
+    """A sink task that terminates the stream and records observations."""
+
+    def __post_init__(self) -> None:
+        self.kind = TaskKind.SINK
+        self.latency_s = 0.0
+        self.selectivity = 0.0
+        super().__post_init__()

@@ -1,0 +1,39 @@
+"""The Storm-like distributed stream processing engine (simulated substrate).
+
+This package provides the execution machinery the migration strategies run
+against:
+
+* :mod:`repro.engine.config` -- reliability features and the calibrated timing
+  model (rebalance duration, worker start-up, ack timeout, ...);
+* :mod:`repro.engine.executor` -- task instances with single-threaded input
+  queues, checkpoint platform logic, capture mode, and source/sink variants;
+* :mod:`repro.engine.router` -- stream groupings, network latency and
+  per-channel FIFO delivery;
+* :mod:`repro.engine.runtime` -- deployment, execution, pause/unpause and the
+  ``rebalance`` command.
+"""
+
+from repro.engine.config import ReliabilityConfig, RuntimeConfig, TimingConfig
+from repro.engine.executor import (
+    CHECKPOINT_SOURCE_ID,
+    Executor,
+    ExecutorStatus,
+    SinkExecutor,
+    SourceExecutor,
+)
+from repro.engine.router import Router
+from repro.engine.runtime import RebalanceRecord, TopologyRuntime
+
+__all__ = [
+    "CHECKPOINT_SOURCE_ID",
+    "Executor",
+    "ExecutorStatus",
+    "RebalanceRecord",
+    "ReliabilityConfig",
+    "Router",
+    "RuntimeConfig",
+    "SinkExecutor",
+    "SourceExecutor",
+    "TimingConfig",
+    "TopologyRuntime",
+]

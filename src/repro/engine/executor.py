@@ -1,0 +1,552 @@
+"""Executors: the runtime instances of dataflow tasks.
+
+One executor corresponds to one Storm executor (task instance) running in one
+resource slot.  Its behaviour mirrors the paper's description of the modified
+``StatefulBoltExecutor``:
+
+* a **single-threaded input queue** -- events (data and checkpoint control
+  events alike) are processed strictly in arrival order;
+* **platform logic** wraps the user logic and handles checkpoint control
+  events: PREPARE snapshots the user state (and, for CCR, enables *capture
+  mode*), COMMIT persists the snapshot (plus the captured pending events) to
+  the state store, INIT restores it, ROLLBACK discards it;
+* **capture mode** (CCR): once the broadcast PREPARE has been processed, data
+  events are appended to a pending-event list instead of being processed, and
+  nothing is emitted downstream;
+* **barrier alignment** for sequential control waves: a task with multiple
+  upstream tasks acts on a control event only once it has received a copy from
+  every upstream executor instance, which is what guarantees the drain
+  semantics of DCR (the PREPARE is the rearguard behind all in-flight data on
+  every input channel);
+* after a restart (migration), the executor is *uninitialized*: data events
+  are buffered until the INIT event restores its state (and, for CCR, replays
+  the captured pending events).
+
+Sources and sinks are specializations: the source generates the input stream
+at a fixed rate, can be paused/unpaused (buffering a backlog while paused),
+caches emitted roots for replay when acking is enabled; the sink records every
+received event in the run's event log.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from enum import Enum
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.dataflow.event import CheckpointAction, Event
+from repro.dataflow.task import SinkTask, SourceTask, Task
+
+
+#: Virtual sender id used for control events injected by the checkpoint source.
+CHECKPOINT_SOURCE_ID = "$checkpoint-source"
+#: Virtual sender id used for events restored from a checkpoint (CCR replay).
+RESTORED_SENDER_ID = "$restored"
+
+
+class ExecutorStatus(Enum):
+    """Lifecycle status of an executor."""
+
+    #: Created but not yet running (worker still starting); deliveries are dropped.
+    STARTING = "starting"
+    #: Running and accepting events.
+    RUNNING = "running"
+    #: Killed by a rebalance; deliveries are dropped until restarted.
+    KILLED = "killed"
+
+
+class Executor:
+    """Runtime instance of one task (one slot's worth of work)."""
+
+    def __init__(self, executor_id: str, task: Task, instance_index: int, runtime: "TopologyRuntimeLike") -> None:
+        self.executor_id = executor_id
+        self.task = task
+        self.instance_index = instance_index
+        self.runtime = runtime
+        self.sim = runtime.sim
+
+        self.slot_id: Optional[str] = None
+        self.vm_id: Optional[str] = None
+
+        self.status = ExecutorStatus.STARTING
+        #: Whether the task has been initialized (true at first deployment;
+        #: false after a restart until an INIT event restores it).
+        self.initialized = True
+
+        self.input_queue: Deque[Tuple[Event, str]] = deque()
+        self.pre_init_buffer: Deque[Tuple[Event, str]] = deque()
+        self.state: Dict[str, Any] = dict(task.initial_state())
+
+        self.capture_mode = False
+        self.pending_events: List[Event] = []
+        self._prepared: Dict[int, Dict[str, Any]] = {}
+
+        self._busy = False
+        self._control_seen: Dict[Tuple[int, str], Set[str]] = {}
+        self._control_acted: Set[Tuple[int, str]] = set()
+
+        self.processed_count = 0
+        self.captured_count = 0
+        self.restored_count = 0
+
+    # ------------------------------------------------------------ placement
+    def place(self, slot_id: str, vm_id: str) -> None:
+        """Record the slot/VM this executor currently occupies."""
+        self.slot_id = slot_id
+        self.vm_id = vm_id
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Transition to RUNNING (initial deployment)."""
+        self.status = ExecutorStatus.RUNNING
+        self.runtime.log.record_lifecycle(self.executor_id, "running")
+        self._maybe_process()
+
+    def kill(self) -> Tuple[int, int]:
+        """Kill the executor, dropping queued and captured events.
+
+        Returns ``(queued_lost, pending_lost)``.  Anything in the input queue,
+        the pre-init buffer, or the in-memory pending list is lost (that is
+        precisely the in-flight message loss DSM suffers); state persisted to
+        the state store survives.
+        """
+        queued_lost = sum(1 for event, _ in self.input_queue if event.is_data)
+        queued_lost += sum(1 for event, _ in self.pre_init_buffer if event.is_data)
+        pending_lost = len(self.pending_events)
+        self.input_queue.clear()
+        self.pre_init_buffer.clear()
+        self.pending_events = []
+        self.capture_mode = False
+        self._prepared.clear()
+        self._busy = False
+        self.status = ExecutorStatus.KILLED
+        self.initialized = False
+        self.runtime.log.record_kill(self.executor_id, queued_lost, pending_lost)
+        self.runtime.log.record_lifecycle(self.executor_id, "killed")
+        return queued_lost, pending_lost
+
+    def become_ready(self) -> None:
+        """Worker restart finished: start accepting events again (uninitialized)."""
+        if self.status is ExecutorStatus.RUNNING:
+            return
+        self.state = dict(self.task.initial_state())
+        self.input_queue.clear()
+        self.pre_init_buffer.clear()
+        self.pending_events = []
+        self.capture_mode = False
+        self._busy = False
+        self.status = ExecutorStatus.RUNNING
+        self.initialized = False
+        self.runtime.log.record_lifecycle(self.executor_id, "ready")
+
+    @property
+    def is_running(self) -> bool:
+        """Whether the executor accepts deliveries."""
+        return self.status is ExecutorStatus.RUNNING
+
+    @property
+    def queue_length(self) -> int:
+        """Number of events waiting in the input queue."""
+        return len(self.input_queue)
+
+    # -------------------------------------------------------------- delivery
+    def deliver(self, event: Event, sender_id: str) -> bool:
+        """Accept an event from the router; returns False if it must be dropped."""
+        if self.status is not ExecutorStatus.RUNNING:
+            return False
+        if event.is_data and not self.initialized:
+            # Stateful-bolt semantics: data received before initialization is
+            # buffered and handled once the INIT event restores the task.
+            self.pre_init_buffer.append((event, sender_id))
+            return True
+        self.input_queue.append((event, sender_id))
+        self._maybe_process()
+        return True
+
+    # ------------------------------------------------------------ processing
+    def _maybe_process(self) -> None:
+        if self._busy or self.status is not ExecutorStatus.RUNNING or not self.input_queue:
+            return
+        event, sender_id = self.input_queue.popleft()
+        self._busy = True
+        if event.is_checkpoint:
+            self.sim.schedule(self.runtime.timing.checkpoint_handling_s, self._handle_control, event, sender_id)
+        elif self.capture_mode:
+            # Capture without processing: the event joins the pending list that
+            # will be persisted with the next COMMIT (CCR).
+            self.pending_events.append(event)
+            self.captured_count += 1
+            self._busy = False
+            self.sim.schedule(0.0, self._maybe_process)
+        else:
+            service_time = self.task.latency_s + self.runtime.timing.data_event_overhead_s
+            self.sim.schedule(service_time, self._complete_data, event)
+
+    def _complete_data(self, event: Event) -> None:
+        if self.status is not ExecutorStatus.RUNNING:
+            self._busy = False
+            return
+        outputs = self.task.logic(event.payload, self.state) or []
+        children = [event.derive(self.task.name, payload, self.sim.now) for payload in outputs]
+        if self.capture_mode:
+            # The event that was being executed when PREPARE arrived: its
+            # outputs are captured rather than emitted downstream (CCR).
+            self.pending_events.extend(children)
+            self.captured_count += len(children)
+        else:
+            self.runtime.route(self, children)
+        self.runtime.ack_processed(event)
+        self.processed_count += 1
+        self._busy = False
+        self._maybe_process()
+
+    # --------------------------------------------------------- control events
+    def _handle_control(self, event: Event, sender_id: str) -> None:
+        action = event.checkpoint_action
+        checkpoint_id = event.checkpoint_id
+        meta = event.payload or {}
+        forward = bool(meta.get("forward", True))
+        key = (checkpoint_id, action.value)
+
+        seen = self._control_seen.setdefault(key, set())
+        seen.add(sender_id)
+        acted = key in self._control_acted
+
+        if acted:
+            # Duplicate (e.g. re-sent INIT): still forward and re-ack so lost
+            # downstream copies are eventually recovered, but do not act again.
+            if forward:
+                self.runtime.forward_control(self, event)
+            self.runtime.control_ack(self, event)
+            self._finish_control()
+            return
+
+        if forward:
+            expected = self.runtime.expected_control_senders(self)
+            barrier_met = expected.issubset(seen)
+        else:
+            barrier_met = True
+
+        if not barrier_met:
+            # Wait for copies from the remaining upstream instances before acting.
+            self._finish_control()
+            return
+
+        self._control_acted.add(key)
+        if action is CheckpointAction.PREPARE:
+            self._do_prepare(event, meta, forward)
+        elif action is CheckpointAction.COMMIT:
+            self._do_commit(event, meta, forward)
+        elif action is CheckpointAction.INIT:
+            self._do_init(event, meta, forward)
+        elif action is CheckpointAction.ROLLBACK:
+            self._do_rollback(event, meta, forward)
+        else:  # pragma: no cover - defensive
+            self._finish_control()
+
+    def _do_prepare(self, event: Event, meta: Dict[str, Any], forward: bool) -> None:
+        snapshot = copy.deepcopy(self.state) if self.task.stateful else {}
+        self._prepared[event.checkpoint_id] = snapshot
+        if meta.get("capture", False):
+            self.capture_mode = True
+        if forward:
+            self.runtime.forward_control(self, event)
+        self.runtime.control_ack(self, event)
+        self._finish_control()
+
+    def _do_commit(self, event: Event, meta: Dict[str, Any], forward: bool) -> None:
+        checkpoint_id = event.checkpoint_id
+        snapshot = self._prepared.pop(checkpoint_id, None)
+        if snapshot is None:
+            snapshot = copy.deepcopy(self.state) if self.task.stateful else {}
+        pending = list(self.pending_events) if self.capture_mode else []
+        value = {"state": snapshot, "pending": pending, "checkpoint_id": checkpoint_id}
+        size = self.runtime.statestore.checkpoint_size_bytes(self.task.state_size_bytes, len(pending))
+
+        def _persisted() -> None:
+            if forward:
+                self.runtime.forward_control(self, event)
+            self.runtime.control_ack(self, event)
+            self._finish_control()
+
+        self.runtime.statestore.put(self._checkpoint_key(), value, size, on_complete=_persisted)
+
+    def _do_init(self, event: Event, meta: Dict[str, Any], forward: bool) -> None:
+        def _restored(value: Optional[Dict[str, Any]]) -> None:
+            restored_pending: List[Event] = []
+            if value:
+                if self.task.stateful and value.get("state") is not None:
+                    self.state = copy.deepcopy(value["state"])
+                restored_pending = list(value.get("pending") or [])
+            self.capture_mode = False
+            self.pending_events = []
+            buffered = list(self.pre_init_buffer)
+            self.pre_init_buffer.clear()
+            self.initialized = True
+            self.restored_count += 1
+            for restored_event in restored_pending:
+                self.input_queue.append((restored_event, RESTORED_SENDER_ID))
+            for buffered_event, buffered_sender in buffered:
+                self.input_queue.append((buffered_event, buffered_sender))
+            self.runtime.log.record_lifecycle(self.executor_id, "initialized")
+            if forward:
+                self.runtime.forward_control(self, event)
+            self.runtime.control_ack(self, event)
+            self._finish_control()
+
+        self.runtime.statestore.get(self._checkpoint_key(), on_complete=_restored)
+
+    def _do_rollback(self, event: Event, meta: Dict[str, Any], forward: bool) -> None:
+        self._prepared.pop(event.checkpoint_id, None)
+        self.capture_mode = False
+        if forward:
+            self.runtime.forward_control(self, event)
+        self.runtime.control_ack(self, event)
+        self._finish_control()
+
+    def _finish_control(self) -> None:
+        self._busy = False
+        self._maybe_process()
+
+    def _checkpoint_key(self) -> str:
+        return f"ckpt/{self.runtime.dataflow.name}/{self.executor_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Executor({self.executor_id}, {self.status.value}, "
+            f"queue={len(self.input_queue)}, init={self.initialized})"
+        )
+
+
+class SourceExecutor(Executor):
+    """Source task instance: generates the input stream at a fixed rate.
+
+    While paused, generated events accumulate in a backlog that is drained at
+    the configured burst rate once the source is unpaused (this is the input
+    rate peak visible in the paper's Fig. 7 for DCR and CCR).  When acking is
+    enabled the source caches emitted payloads and replays roots whose causal
+    trees fail (DSM's recovery path); replays are also rate-limited by the
+    burst rate.
+    """
+
+    def __init__(self, executor_id: str, task: SourceTask, instance_index: int, runtime: "TopologyRuntimeLike") -> None:
+        super().__init__(executor_id, task, instance_index, runtime)
+        self.rate = float(task.rate)
+        self.paused = False
+        self._sequence = 0
+        self._backlog: Deque[Any] = deque()
+        self._replay_queue: Deque[int] = deque()
+        self._cache: Dict[int, Any] = {}
+        self._replay_counts: Dict[int, int] = {}
+        self._emit_timer = None
+        self._drain_timer = None
+        self.emitted_count = 0
+        self.replayed_count = 0
+        self.skipped_ticks = 0
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        super().start()
+        if self._emit_timer is None:
+            self._emit_timer = self.sim.every(1.0 / self.rate, self._tick)
+
+    def stop(self) -> None:
+        """Stop generating events entirely (end of experiment)."""
+        if self._emit_timer is not None:
+            self._emit_timer.cancel()
+            self._emit_timer = None
+
+    # ---------------------------------------------------------------- pausing
+    def pause(self) -> None:
+        """Stop emitting; generated events accumulate in the backlog."""
+        self.paused = True
+        self.runtime.log.record_lifecycle(self.executor_id, "paused")
+
+    def unpause(self) -> None:
+        """Resume emitting and start draining the backlog at the burst rate."""
+        if not self.paused:
+            return
+        self.paused = False
+        self.runtime.log.record_lifecycle(self.executor_id, "unpaused")
+        self._ensure_drain_timer()
+
+    @property
+    def backlog_size(self) -> int:
+        """Number of generated-but-unemitted events waiting in the backlog."""
+        return len(self._backlog)
+
+    # -------------------------------------------------------------- emission
+    def _payload(self, sequence: int) -> Any:
+        factory = getattr(self.task, "payload_factory", None)
+        if factory is not None:
+            return factory(sequence)
+        return {"seq": sequence, "source": self.task.name}
+
+    def _throttled(self) -> bool:
+        """Storm's max.spout.pending: stop emitting while too many roots are unacked."""
+        if not self.runtime.ack_data_events:
+            return False
+        limit = self.runtime.reliability.max_spout_pending
+        if not limit:
+            return False
+        return self.runtime.acker.pending_count >= limit
+
+    def _tick(self) -> None:
+        self._sequence += 1
+        payload = self._payload(self._sequence)
+        if self.paused or self.status is not ExecutorStatus.RUNNING:
+            self._backlog.append(payload)
+            return
+        if self._throttled():
+            # Storm's max.spout.pending: nextTuple is simply not called, so the
+            # synthetic generator produces nothing for this tick (unless
+            # configured to defer the tick into the backlog instead).
+            if self.runtime.reliability.throttled_ticks_generate_backlog:
+                self._backlog.append(payload)
+            else:
+                self.skipped_ticks += 1
+            self._ensure_drain_timer()
+            return
+        if self._backlog or self._replay_queue:
+            # Preserve ordering: new events queue behind any pending backlog.
+            self._backlog.append(payload)
+            self._ensure_drain_timer()
+            return
+        self._emit_new(payload)
+
+    def _emit_new(self, payload: Any, from_backlog: bool = False) -> None:
+        event = Event.data(
+            source_task=self.task.name,
+            payload=payload,
+            created_at=self.sim.now,
+            anchored=self.runtime.ack_data_events,
+        )
+        if self.runtime.ack_data_events:
+            self.runtime.acker.register(event.root_id)
+            self._cache[event.root_id] = payload
+        self.emitted_count += 1
+        self.runtime.log.record_source_emit(event.root_id, self.task.name, replay_count=0, from_backlog=from_backlog)
+        self.runtime.route(self, [event])
+
+    def _emit_replay(self, root_id: int) -> None:
+        payload = self._cache.get(root_id)
+        if payload is None:
+            return
+        replay_count = self._replay_counts.get(root_id, 0) + 1
+        self._replay_counts[root_id] = replay_count
+        event = Event.data(
+            source_task=self.task.name,
+            payload=payload,
+            created_at=self.sim.now,
+            root_id=root_id,
+            root_emitted_at=self.sim.now,
+            replay_count=replay_count,
+            anchored=self.runtime.ack_data_events,
+        )
+        if self.runtime.ack_data_events:
+            self.runtime.acker.register(root_id)
+        self.replayed_count += 1
+        self.runtime.log.record_source_emit(root_id, self.task.name, replay_count=replay_count, from_backlog=False)
+        self.runtime.route(self, [event])
+
+    # --------------------------------------------------------------- replays
+    def replay(self, root_id: int) -> None:
+        """Queue a failed root for re-emission (rate-limited by the burst rate)."""
+        if root_id not in self._cache:
+            return
+        if self.paused or self.status is not ExecutorStatus.RUNNING:
+            self._replay_queue.append(root_id)
+            return
+        self._replay_queue.append(root_id)
+        self._ensure_drain_timer()
+
+    def tree_completed(self, root_id: int) -> None:
+        """Drop the cached payload of a successfully processed root."""
+        self._cache.pop(root_id, None)
+        self._replay_counts.pop(root_id, None)
+
+    # ------------------------------------------------------------- drain loop
+    def _ensure_drain_timer(self) -> None:
+        if self._drain_timer is not None and self._drain_timer.active:
+            return
+        period = 1.0 / max(self.rate, self.runtime.timing.source_max_burst_rate)
+        self._drain_timer = self.sim.every(period, self._drain_tick, start_delay=period)
+
+    def _drain_tick(self) -> None:
+        if self.paused or self.status is not ExecutorStatus.RUNNING:
+            self._stop_drain_timer()
+            return
+        if self._throttled():
+            # Keep the timer alive; emission resumes once pending acks drain.
+            return
+        if self._replay_queue:
+            self._emit_replay(self._replay_queue.popleft())
+            return
+        if self._backlog:
+            self._emit_new(self._backlog.popleft(), from_backlog=True)
+            return
+        self._stop_drain_timer()
+
+    def _stop_drain_timer(self) -> None:
+        if self._drain_timer is not None:
+            self._drain_timer.cancel()
+            self._drain_timer = None
+
+
+class SinkExecutor(Executor):
+    """Sink task instance: records every received event in the event log."""
+
+    def __init__(self, executor_id: str, task: SinkTask, instance_index: int, runtime: "TopologyRuntimeLike") -> None:
+        super().__init__(executor_id, task, instance_index, runtime)
+        self.received_count = 0
+
+    def _complete_data(self, event: Event) -> None:
+        if self.status is not ExecutorStatus.RUNNING:
+            self._busy = False
+            return
+        self.received_count += 1
+        self.runtime.log.record_sink_receipt(
+            root_id=event.root_id,
+            event_id=event.event_id,
+            sink=self.task.name,
+            root_emitted_at=event.root_emitted_at,
+            replay_count=event.replay_count,
+        )
+        self.runtime.ack_processed(event)
+        self.processed_count += 1
+        self._busy = False
+        self._maybe_process()
+
+
+class TopologyRuntimeLike:
+    """Structural interface executors expect from the runtime (documentation aid).
+
+    The concrete implementation is :class:`repro.engine.runtime.TopologyRuntime`;
+    this class exists so the executor module does not import the runtime
+    module (avoiding a circular dependency) while still documenting the
+    contract.
+    """
+
+    sim = None
+    log = None
+    statestore = None
+    acker = None
+    timing = None
+    dataflow = None
+    ack_data_events = False
+
+    def route(self, executor: Executor, events: List[Event]) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def ack_processed(self, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def forward_control(self, executor: Executor, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def control_ack(self, executor: Executor, event: Event) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def expected_control_senders(self, executor: Executor) -> Set[str]:  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,90 @@
+"""Event routing between executors.
+
+The router implements Storm's stream groupings on top of the simulated
+network: for every outgoing edge of a task it selects target instances of the
+downstream task (shuffle round-robin by default), duplicates the event per
+edge, applies the network transfer latency (intra- vs inter-VM), anchors the
+copies with the acker service when acking is enabled, and enforces FIFO
+delivery ordering per (sender executor, receiver executor) channel -- the
+property checkpoint control events rely on to be the "rearguard" behind all
+data events on a channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cloud import NetworkModel
+from repro.dataflow.event import Event
+from repro.dataflow.graph import Dataflow, Edge
+from repro.dataflow.grouping import Grouping
+
+
+class Router:
+    """Routes events from an executor to the instances of downstream tasks."""
+
+    def __init__(self, runtime: "TopologyRuntime") -> None:
+        self.runtime = runtime
+        self._shuffle_counters: Dict[Tuple[str, str], int] = {}
+        self._last_delivery: Dict[Tuple[str, str], float] = {}
+        self.routed_count = 0
+
+    # --------------------------------------------------------------- routing
+    def route(self, sender_executor_id: str, task_name: str, events: List[Event]) -> None:
+        """Deliver each event on every outgoing edge of ``task_name``."""
+        if not events:
+            return
+        dataflow: Dataflow = self.runtime.dataflow
+        for edge in dataflow.out_edges(task_name):
+            for event in events:
+                targets = self._select_targets(sender_executor_id, edge, event)
+                for target_executor_id in targets:
+                    self._send(sender_executor_id, target_executor_id, event.copy_for_edge())
+
+    def send_direct(self, sender_id: str, target_executor_id: str, event: Event) -> None:
+        """Deliver an event directly to a specific executor (checkpoint channels)."""
+        self._send(sender_id, target_executor_id, event)
+
+    # ------------------------------------------------------- target selection
+    def _select_targets(self, sender_executor_id: str, edge: Edge, event: Event) -> List[str]:
+        dst_task = self.runtime.dataflow.task(edge.dst)
+        instances = dst_task.instance_ids()
+        if len(instances) == 1:
+            return [instances[0]]
+        if edge.grouping is Grouping.ALL:
+            return list(instances)
+        if edge.grouping is Grouping.GLOBAL:
+            return [instances[0]]
+        if edge.grouping is Grouping.FIELDS:
+            key = self._field_key(event)
+            return [instances[hash(key) % len(instances)]]
+        # Shuffle grouping: round-robin per (sender executor, destination task).
+        counter_key = (sender_executor_id, edge.dst)
+        index = self._shuffle_counters.get(counter_key, 0)
+        self._shuffle_counters[counter_key] = index + 1
+        return [instances[index % len(instances)]]
+
+    @staticmethod
+    def _field_key(event: Event) -> str:
+        payload = event.payload
+        if isinstance(payload, dict):
+            for candidate in ("key", "id", "seq"):
+                if candidate in payload:
+                    return str(payload[candidate])
+        return str(payload)
+
+    # --------------------------------------------------------------- delivery
+    def _send(self, sender_id: str, target_executor_id: str, event: Event) -> None:
+        runtime = self.runtime
+        if event.anchored and event.is_data and runtime.ack_data_events:
+            runtime.acker.anchor(event.root_id, event.event_id)
+        src_vm = runtime.executor_vm(sender_id)
+        dst_vm = runtime.executor_vm(target_executor_id)
+        network: NetworkModel = runtime.cluster.network
+        latency = network.transfer_latency(src_vm, dst_vm)
+        channel = (sender_id, target_executor_id)
+        earliest = self._last_delivery.get(channel, 0.0)
+        delivery_time = max(runtime.sim.now + latency, earliest + 1e-9)
+        self._last_delivery[channel] = delivery_time
+        self.routed_count += 1
+        runtime.sim.schedule_at(delivery_time, runtime.deliver, target_executor_id, event, sender_id)

@@ -1,0 +1,451 @@
+"""The topology runtime: deployment, execution and rebalance of a dataflow.
+
+This is the reproduction's stand-in for the Storm nimbus + supervisors +
+workers: it places executors on cluster slots, wires the router, the acker
+service, the state store and the checkpoint coordinator together, drives
+event flow against the simulated clock, and implements the ``rebalance``
+command (kill migrating executors, reassign slots, restart workers with a
+modelled start-up delay).
+
+Migration strategies (:mod:`repro.core`) orchestrate the runtime; they never
+touch executors directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.cloud import Cluster
+from repro.cluster.placement import PlacementPlan, placement_diff
+from repro.cluster.scheduler import RoundRobinScheduler, Scheduler
+from repro.dataflow.event import CheckpointAction, Event
+from repro.dataflow.graph import Dataflow
+from repro.dataflow.task import TaskKind
+from repro.engine.config import RuntimeConfig
+from repro.engine.executor import (
+    CHECKPOINT_SOURCE_ID,
+    Executor,
+    ExecutorStatus,
+    SinkExecutor,
+    SourceExecutor,
+)
+from repro.engine.router import Router
+from repro.metrics.log import EventLog
+from repro.reliability.acker import AckerService
+from repro.reliability.checkpoint import CheckpointCoordinator, WaveMode
+from repro.reliability.statestore import StateStore
+from repro.sim import RandomSource, Simulator
+
+
+class RuntimeError_(RuntimeError):
+    """Raised for invalid runtime operations (e.g. rebalance before deploy)."""
+
+
+@dataclass
+class RebalanceRecord:
+    """Bookkeeping for one invocation of the rebalance command."""
+
+    started_at: float
+    command_duration_s: float
+    migrating: Set[str]
+    staying: Set[str]
+    loaded: bool
+    command_completed_at: Optional[float] = None
+    executor_ready_at: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def all_ready_at(self) -> Optional[float]:
+        """Time at which the last migrated executor became ready, if known."""
+        if not self.executor_ready_at:
+            return self.command_completed_at
+        return max(self.executor_ready_at.values())
+
+
+class TopologyRuntime:
+    """Deploys and runs one dataflow on a cluster under the simulated clock."""
+
+    def __init__(
+        self,
+        dataflow: Dataflow,
+        cluster: Cluster,
+        sim: Optional[Simulator] = None,
+        config: Optional[RuntimeConfig] = None,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        self.dataflow = dataflow
+        self.cluster = cluster
+        self.sim = sim if sim is not None else Simulator()
+        self.config = config if config is not None else RuntimeConfig()
+        self.timing = self.config.timing
+        self.reliability = self.config.reliability
+        self.scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
+        self.rng = RandomSource(self.config.seed)
+
+        self.log = EventLog(self.sim)
+        self.statestore = StateStore(
+            self.sim,
+            base_latency_s=self.timing.statestore_base_latency_s,
+            per_byte_latency_s=self.timing.statestore_per_byte_latency_s,
+        )
+        self.acker = AckerService(
+            self.sim,
+            timeout_s=self.reliability.ack_timeout_s,
+            on_complete=self._tree_completed,
+            on_fail=self._tree_failed,
+        )
+        self.checkpoints = CheckpointCoordinator(self.sim)
+        self.checkpoints.bind(self._emit_checkpoint_wave, self.user_executor_id_set)
+        self.router = Router(self)
+
+        self.executors: Dict[str, Executor] = {}
+        self.placement: Optional[PlacementPlan] = None
+        self.deployed = False
+        self.rebalances: List[RebalanceRecord] = []
+        self._util_vm_id: Optional[str] = None
+        # Data events addressed to an executor that is currently restarting are
+        # held here by the (reconnecting) transport and delivered once the
+        # executor is ready, mirroring Storm's buffering messaging clients.
+        self._deferred_deliveries: Dict[str, List[Tuple[Event, str]]] = {}
+
+    # ------------------------------------------------------------ properties
+    @property
+    def ack_data_events(self) -> bool:
+        """Whether data events are tracked by the acker service."""
+        return self.reliability.ack_all_events
+
+    @property
+    def source_executors(self) -> List[SourceExecutor]:
+        """All source executors."""
+        return [e for e in self.executors.values() if isinstance(e, SourceExecutor)]
+
+    @property
+    def sink_executors(self) -> List[SinkExecutor]:
+        """All sink executors."""
+        return [e for e in self.executors.values() if isinstance(e, SinkExecutor)]
+
+    @property
+    def user_executors(self) -> List[Executor]:
+        """Executors of processing (user) tasks, in topological task order."""
+        result = []
+        for name in self.dataflow.topological_order:
+            task = self.dataflow.task(name)
+            if task.kind is not TaskKind.PROCESS:
+                continue
+            for executor_id in task.instance_ids():
+                executor = self.executors.get(executor_id)
+                if executor is not None:
+                    result.append(executor)
+        return result
+
+    def user_executor_id_set(self) -> Set[str]:
+        """Ids of all user-task executors (the expected acking set for checkpoint waves)."""
+        return {e.executor_id for e in self.user_executors}
+
+    @property
+    def sources_paused(self) -> bool:
+        """Whether every source executor is currently paused."""
+        sources = self.source_executors
+        return bool(sources) and all(s.paused for s in sources)
+
+    def executor_vm(self, executor_id: str) -> Optional[str]:
+        """VM currently hosting the given executor (None for virtual senders)."""
+        executor = self.executors.get(executor_id)
+        return executor.vm_id if executor is not None else None
+
+    @property
+    def util_vm_id(self) -> Optional[str]:
+        """Id of the dedicated source/sink VM, if one exists."""
+        return self._util_vm_id
+
+    # ------------------------------------------------------------ deployment
+    def _create_executors(self) -> None:
+        for task in self.dataflow.tasks:
+            for index, executor_id in enumerate(task.instance_ids()):
+                if task.kind is TaskKind.SOURCE:
+                    executor: Executor = SourceExecutor(executor_id, task, index, self)
+                elif task.kind is TaskKind.SINK:
+                    executor = SinkExecutor(executor_id, task, index, self)
+                else:
+                    executor = Executor(executor_id, task, index, self)
+                self.executors[executor_id] = executor
+
+    def _find_util_vm(self) -> Optional[str]:
+        for vm in self.cluster.vms:
+            if vm.tags.get("role") == self.config.util_vm_role:
+                return vm.vm_id
+        return None
+
+    def deploy(self) -> PlacementPlan:
+        """Create executors and place them on the cluster (initial schedule)."""
+        if self.deployed:
+            raise RuntimeError_("dataflow is already deployed")
+        self._create_executors()
+        self._util_vm_id = self._find_util_vm()
+
+        ordered_ids: List[str] = []
+        pinned: Dict[str, str] = {}
+        for name in self.dataflow.topological_order:
+            task = self.dataflow.task(name)
+            for executor_id in task.instance_ids():
+                ordered_ids.append(executor_id)
+                if task.kind in (TaskKind.SOURCE, TaskKind.SINK) and self._util_vm_id is not None:
+                    pinned[executor_id] = self._util_vm_id
+
+        exclude = [self._util_vm_id] if self._util_vm_id is not None else []
+        plan = self.scheduler.schedule(ordered_ids, self.cluster, pinned=pinned, exclude_vms=exclude)
+        self._apply_placement(plan, plan.executors)
+        self.placement = plan
+        self.deployed = True
+
+        if self.reliability.periodic_checkpoint_interval_s:
+            self.checkpoints.start_periodic(self.reliability.periodic_checkpoint_interval_s)
+        return plan
+
+    def _apply_placement(self, plan: PlacementPlan, executor_ids: List[str]) -> None:
+        for executor_id in executor_ids:
+            slot_id = plan.slot_of(executor_id)
+            slot = self.cluster.find_slot(slot_id)
+            slot.assign(executor_id)
+            self.executors[executor_id].place(slot_id, plan.vm_of(executor_id))
+
+    def start(self) -> None:
+        """Start all executors (sources begin emitting)."""
+        if not self.deployed:
+            raise RuntimeError_("deploy() must be called before start()")
+        for executor in self.executors.values():
+            executor.start()
+
+    def run(self, until: float) -> None:
+        """Advance the simulation until the given simulated time."""
+        self.sim.run(until=until)
+
+    def stop_sources(self) -> None:
+        """Stop all source generators (end of experiment)."""
+        for source in self.source_executors:
+            source.stop()
+
+    # --------------------------------------------------------------- pausing
+    def pause_sources(self) -> None:
+        """Pause every source (no new events are emitted; a backlog accumulates)."""
+        for source in self.source_executors:
+            source.pause()
+
+    def unpause_sources(self) -> None:
+        """Resume every source; backlogs drain at the configured burst rate."""
+        for source in self.source_executors:
+            source.unpause()
+
+    # ------------------------------------------------------------ event flow
+    def route(self, executor: Executor, events: List[Event]) -> None:
+        """Route events produced by an executor along its task's outgoing edges."""
+        self.router.route(executor.executor_id, executor.task.name, events)
+
+    def ack_processed(self, event: Event) -> None:
+        """Acknowledge a fully processed data event to the acker service."""
+        if event.is_data and event.anchored and self.ack_data_events:
+            self.acker.ack(event.root_id, event.event_id)
+
+    def deliver(self, executor_id: str, event: Event, sender_id: str) -> None:
+        """Deliver an event to an executor.
+
+        Data events addressed to an executor that is restarting (killed by a
+        rebalance but part of the current placement) are held by the transport
+        and re-delivered once the executor is ready, as Storm's reconnecting
+        messaging clients do.  Checkpoint control events are *not* held: their
+        loss is recovered by the coordinator's re-send logic, which is what
+        produces the INIT re-send waves the paper observes.
+        """
+        executor = self.executors.get(executor_id)
+        if executor is None:
+            self.log.record_drop(executor_id, event.kind.value, "unknown-executor", event.root_id)
+            return
+        accepted = executor.deliver(event, sender_id)
+        if accepted:
+            return
+        if event.is_data and self.placement is not None and executor_id in self.placement:
+            self._deferred_deliveries.setdefault(executor_id, []).append((event, sender_id))
+            self.log.record_deferred(executor_id, event.root_id)
+        else:
+            self.log.record_drop(executor_id, event.kind.value, executor.status.value, event.root_id)
+
+    # --------------------------------------------------------- acker callbacks
+    def _tree_completed(self, root_id: int) -> None:
+        for source in self.source_executors:
+            source.tree_completed(root_id)
+
+    def _tree_failed(self, root_id: int) -> None:
+        for source in self.source_executors:
+            source.replay(root_id)
+
+    # ---------------------------------------------------- checkpoint plumbing
+    def _emit_checkpoint_wave(self, action: CheckpointAction, checkpoint_id: int, mode: WaveMode) -> None:
+        meta = {
+            "forward": mode is WaveMode.SEQUENTIAL,
+            "capture": action is CheckpointAction.PREPARE and self.reliability.capture_on_prepare,
+        }
+        if mode is WaveMode.SEQUENTIAL:
+            targets = [
+                executor_id
+                for task in self.dataflow.entry_tasks
+                for executor_id in task.instance_ids()
+            ]
+        else:
+            targets = [e.executor_id for e in self.user_executors]
+        for target in targets:
+            event = Event.checkpoint(action, checkpoint_id, CHECKPOINT_SOURCE_ID, created_at=self.sim.now)
+            event.payload = dict(meta)
+            self.router.send_direct(CHECKPOINT_SOURCE_ID, target, event)
+
+    def forward_control(self, executor: Executor, event: Event) -> None:
+        """Forward a control event to every instance of downstream user tasks."""
+        for successor in self.dataflow.successors(executor.task.name):
+            successor_task = self.dataflow.task(successor)
+            if successor_task.kind is not TaskKind.PROCESS:
+                continue
+            for target in successor_task.instance_ids():
+                self.router.send_direct(executor.executor_id, target, event.copy_for_edge())
+
+    def control_ack(self, executor: Executor, event: Event) -> None:
+        """Report an executor's acknowledgment of a control event to the coordinator."""
+        self.checkpoints.notify_ack(executor.executor_id, event.checkpoint_action, event.checkpoint_id)
+
+    def expected_control_senders(self, executor: Executor) -> Set[str]:
+        """Senders a task must hear a sequential control event from before acting.
+
+        Entry tasks expect the checkpoint source; other tasks expect a copy
+        from every instance of every upstream user task (barrier alignment).
+        """
+        senders: Set[str] = set()
+        for predecessor in self.dataflow.predecessors(executor.task.name):
+            predecessor_task = self.dataflow.task(predecessor)
+            if predecessor_task.kind is TaskKind.PROCESS:
+                senders.update(predecessor_task.instance_ids())
+            elif predecessor_task.kind is TaskKind.SOURCE:
+                senders.add(CHECKPOINT_SOURCE_ID)
+        if not senders:
+            senders.add(CHECKPOINT_SOURCE_ID)
+        return senders
+
+    # --------------------------------------------------------------- rebalance
+    def rebalance(
+        self,
+        new_plan: PlacementPlan,
+        on_command_complete: Optional[Callable[[RebalanceRecord], None]] = None,
+    ) -> RebalanceRecord:
+        """Enact Storm's ``rebalance`` command with a zero timeout.
+
+        Migrating executors are killed immediately (their queued events are
+        lost), slots are reassigned per ``new_plan``, and each migrated
+        executor becomes ready again after a modelled worker start-up delay.
+        ``on_command_complete`` fires when the rebalance command itself
+        returns, which is when the migration strategies send their INIT waves.
+        """
+        if not self.deployed or self.placement is None:
+            raise RuntimeError_("cannot rebalance before deploy()")
+
+        migrating, staying, new_executors = placement_diff(self.placement, new_plan)
+        migrating = set(migrating) | set(new_executors)
+        loaded = not self.sources_paused and self.ack_data_events
+        record = RebalanceRecord(
+            started_at=self.sim.now,
+            command_duration_s=max(
+                2.0,
+                self.rng.gauss(
+                    "rebalance-duration",
+                    self.timing.rebalance_command_mean_s,
+                    self.timing.rebalance_command_stddev_s,
+                ),
+            ),
+            migrating=set(migrating),
+            staying=set(staying),
+            loaded=loaded,
+        )
+        self.rebalances.append(record)
+
+        # Kill migrating executors and release their slots immediately.
+        for executor_id in migrating:
+            executor = self.executors.get(executor_id)
+            if executor is None:
+                continue
+            if executor.status is not ExecutorStatus.STARTING:
+                executor.kill()
+            old_slot_id = self.placement.assignments.get(executor_id)
+            if old_slot_id is not None:
+                try:
+                    self.cluster.find_slot(old_slot_id).release()
+                except KeyError:
+                    pass
+
+        # Apply the new placement for migrating executors.
+        for executor_id in migrating:
+            if executor_id not in new_plan.assignments:
+                continue
+            slot_id = new_plan.slot_of(executor_id)
+            slot = self.cluster.find_slot(slot_id)
+            if slot.executor_id != executor_id:
+                slot.assign(executor_id)
+            self.executors[executor_id].place(slot_id, new_plan.vm_of(executor_id))
+
+        self.placement = new_plan
+        self.sim.schedule(record.command_duration_s, self._complete_rebalance, record, on_command_complete)
+        return record
+
+    def _complete_rebalance(
+        self, record: RebalanceRecord, on_command_complete: Optional[Callable[[RebalanceRecord], None]]
+    ) -> None:
+        record.command_completed_at = self.sim.now
+        self._schedule_worker_starts(record)
+        if on_command_complete is not None:
+            on_command_complete(record)
+
+    def _schedule_worker_starts(self, record: RebalanceRecord) -> None:
+        """Schedule the readiness of every migrated executor.
+
+        Workers restart in parallel once the rebalance command completes: each
+        executor becomes ready after a base delay plus a uniformly distributed
+        extra delay whose spread grows with the number of migrating executors
+        (code distribution and coordination contention).  If the rebalance
+        happened while the dataflow was live (DSM does not pause the sources),
+        restart is further slowed by a load multiplier plus a
+        per-migrating-executor penalty.
+        """
+        timing = self.timing
+        total_migrating = len(record.migrating)
+        spread = (
+            timing.worker_start_spread_base_s
+            + timing.worker_start_spread_per_executor_s * total_migrating
+        )
+        for executor_id in sorted(record.migrating):
+            delay = timing.worker_start_base_s + self.rng.uniform(
+                f"worker-start:{executor_id}", 0.0, spread
+            )
+            if record.loaded:
+                delay = delay * timing.loaded_start_multiplier + (
+                    timing.loaded_start_per_executor_s * total_migrating
+                )
+            ready_at = self.sim.now + delay
+            record.executor_ready_at[executor_id] = ready_at
+            self.sim.schedule(delay, self._make_ready, executor_id)
+
+    def _make_ready(self, executor_id: str) -> None:
+        executor = self.executors.get(executor_id)
+        if executor is None:
+            return
+        executor.become_ready()
+        for event, sender_id in self._deferred_deliveries.pop(executor_id, []):
+            executor.deliver(event, sender_id)
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def last_rebalance(self) -> Optional[RebalanceRecord]:
+        """The most recent rebalance record, if any."""
+        return self.rebalances[-1] if self.rebalances else None
+
+    def executor(self, executor_id: str) -> Executor:
+        """Return the executor with the given id."""
+        return self.executors[executor_id]
+
+    def queue_backlog(self) -> int:
+        """Total number of events queued across all executors (diagnostic)."""
+        return sum(len(e.input_queue) for e in self.executors.values())

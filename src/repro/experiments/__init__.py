@@ -1,0 +1,34 @@
+"""Experiment harness: scenario runner and per-figure drivers.
+
+:mod:`repro.experiments.scenarios` assembles the full stack (cloud, cluster,
+dataflow, runtime, strategy) for one migration experiment exactly as the paper
+describes its setup (Table 1 VM counts, 8 ev/s sources, dedicated source/sink
+VM, migration a fixed time after submission) and returns the metrics, report
+and raw event log.
+
+:mod:`repro.experiments.figures` contains one driver per table/figure of the
+paper's evaluation; the ``benchmarks/`` directory calls these and prints the
+reproduced rows next to the paper's published values.
+"""
+
+from repro.experiments.scenarios import (
+    MigrationRunResult,
+    ScenarioSpec,
+    build_experiment,
+    plan_after_scaling,
+    run_migration_experiment,
+    vm_counts_for,
+)
+from repro.experiments.figures import ExperimentMatrix
+from repro.experiments.formatting import format_table
+
+__all__ = [
+    "ExperimentMatrix",
+    "MigrationRunResult",
+    "ScenarioSpec",
+    "build_experiment",
+    "format_table",
+    "plan_after_scaling",
+    "run_migration_experiment",
+    "vm_counts_for",
+]

@@ -1,0 +1,45 @@
+"""Measurement infrastructure: event logs, timelines and rate analysis.
+
+The paper's methodology is to log the timestamps of checkpoint and user events
+and post-process them into the §4 metrics.  This package provides:
+
+* :class:`~repro.metrics.log.EventLog` -- the raw record of source emissions,
+  sink receipts, drops, kills and executor lifecycle transitions collected by
+  the engine during a run;
+* :mod:`repro.metrics.timeline` -- throughput and latency timelines (Figs. 7
+  and 9) and the rate-stabilization detector (Fig. 8).
+
+The seven migration metrics themselves (§4 of the paper) are computed in
+:mod:`repro.core.metrics` from an :class:`EventLog` plus the strategy's
+:class:`~repro.core.strategy.MigrationReport`.
+"""
+
+from repro.metrics.log import (
+    DropRecord,
+    EventLog,
+    KillRecord,
+    LifecycleRecord,
+    SinkReceipt,
+    SourceEmit,
+)
+from repro.metrics.timeline import (
+    LatencyPoint,
+    RatePoint,
+    latency_timeline,
+    rate_timeline,
+    stabilization_time,
+)
+
+__all__ = [
+    "DropRecord",
+    "EventLog",
+    "KillRecord",
+    "LatencyPoint",
+    "LifecycleRecord",
+    "RatePoint",
+    "SinkReceipt",
+    "SourceEmit",
+    "latency_timeline",
+    "rate_timeline",
+    "stabilization_time",
+]

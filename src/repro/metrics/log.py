@@ -1,0 +1,213 @@
+"""The event log: raw observations collected by the engine during a run.
+
+The engine appends a record for every source emission, sink receipt, dropped
+event, executor kill and lifecycle transition.  Experiments and metrics are
+computed entirely from this log (plus the strategy's phase timestamps), which
+mirrors the paper's methodology of logging event timestamps on the VMs and
+analysing them offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim import Simulator
+
+
+@dataclass(frozen=True)
+class SourceEmit:
+    """One event emission by a source task (first emission, backlog drain or replay)."""
+
+    time: float
+    root_id: int
+    source: str
+    replay_count: int
+    from_backlog: bool
+
+
+@dataclass(frozen=True)
+class SinkReceipt:
+    """One event received by a sink task."""
+
+    time: float
+    root_id: int
+    event_id: int
+    sink: str
+    root_emitted_at: float
+    replay_count: int
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency measured from the root's original emission."""
+        return self.time - self.root_emitted_at
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    """An event dropped because its destination executor could not accept it."""
+
+    time: float
+    executor_id: str
+    kind: str
+    reason: str
+    root_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DeferredRecord:
+    """A data event held by the transport while its destination executor restarts."""
+
+    time: float
+    executor_id: str
+    root_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class KillRecord:
+    """An executor kill, with the number of queued events lost."""
+
+    time: float
+    executor_id: str
+    queued_events_lost: int
+    pending_events_lost: int
+
+
+@dataclass(frozen=True)
+class LifecycleRecord:
+    """An executor lifecycle transition (started, killed, restarted, ready, initialized)."""
+
+    time: float
+    executor_id: str
+    status: str
+
+
+class EventLog:
+    """Accumulates raw run observations and answers the queries metrics need."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.source_emits: List[SourceEmit] = []
+        self.sink_receipts: List[SinkReceipt] = []
+        self.drops: List[DropRecord] = []
+        self.deferred: List[DeferredRecord] = []
+        self.kills: List[KillRecord] = []
+        self.lifecycle: List[LifecycleRecord] = []
+        self.replay_emits: int = 0
+        self._root_first_emit: Dict[int, float] = {}
+
+    # -------------------------------------------------------------- recording
+    def record_source_emit(
+        self, root_id: int, source: str, replay_count: int = 0, from_backlog: bool = False
+    ) -> None:
+        """Record that a source emitted (or re-emitted) a root event now."""
+        now = self.sim.now
+        self.source_emits.append(
+            SourceEmit(time=now, root_id=root_id, source=source,
+                       replay_count=replay_count, from_backlog=from_backlog)
+        )
+        if replay_count > 0:
+            self.replay_emits += 1
+        if root_id not in self._root_first_emit:
+            self._root_first_emit[root_id] = now
+
+    def record_sink_receipt(
+        self, root_id: int, event_id: int, sink: str, root_emitted_at: float, replay_count: int
+    ) -> None:
+        """Record that a sink received an event now."""
+        self.sink_receipts.append(
+            SinkReceipt(time=self.sim.now, root_id=root_id, event_id=event_id, sink=sink,
+                        root_emitted_at=root_emitted_at, replay_count=replay_count)
+        )
+
+    def record_drop(self, executor_id: str, kind: str, reason: str, root_id: Optional[int] = None) -> None:
+        """Record that an event could not be delivered to an executor."""
+        self.drops.append(
+            DropRecord(time=self.sim.now, executor_id=executor_id, kind=kind, reason=reason, root_id=root_id)
+        )
+
+    def record_deferred(self, executor_id: str, root_id: Optional[int] = None) -> None:
+        """Record that the transport is holding a data event for a restarting executor."""
+        self.deferred.append(DeferredRecord(time=self.sim.now, executor_id=executor_id, root_id=root_id))
+
+    def record_kill(self, executor_id: str, queued_events_lost: int, pending_events_lost: int = 0) -> None:
+        """Record an executor kill and the in-flight events lost with it."""
+        self.kills.append(
+            KillRecord(time=self.sim.now, executor_id=executor_id,
+                       queued_events_lost=queued_events_lost, pending_events_lost=pending_events_lost)
+        )
+
+    def record_lifecycle(self, executor_id: str, status: str) -> None:
+        """Record an executor lifecycle transition."""
+        self.lifecycle.append(LifecycleRecord(time=self.sim.now, executor_id=executor_id, status=status))
+
+    # ---------------------------------------------------------------- queries
+    def root_first_emit_time(self, root_id: int) -> Optional[float]:
+        """Time at which the given root event was first emitted, if known."""
+        return self._root_first_emit.get(root_id)
+
+    def is_old_root(self, root_id: int, migration_time: float) -> bool:
+        """Whether the root was first emitted before the migration request."""
+        first = self._root_first_emit.get(root_id)
+        return first is not None and first < migration_time
+
+    def receipts_after(self, time: float) -> List[SinkReceipt]:
+        """Sink receipts at or after the given time, in time order."""
+        return [r for r in self.sink_receipts if r.time >= time]
+
+    def receipts_between(self, start: float, end: float) -> List[SinkReceipt]:
+        """Sink receipts in ``[start, end)``."""
+        return [r for r in self.sink_receipts if start <= r.time < end]
+
+    def emits_between(self, start: float, end: float) -> List[SourceEmit]:
+        """Source emissions in ``[start, end)``."""
+        return [e for e in self.source_emits if start <= e.time < end]
+
+    def first_receipt_after(self, time: float) -> Optional[SinkReceipt]:
+        """Earliest sink receipt at or after the given time, if any."""
+        candidates = self.receipts_after(time)
+        return min(candidates, key=lambda r: r.time) if candidates else None
+
+    def last_old_receipt(self, migration_time: float) -> Optional[SinkReceipt]:
+        """Latest sink receipt (after migration) of a root emitted before the migration."""
+        old = [
+            r
+            for r in self.sink_receipts
+            if r.time >= migration_time and self.is_old_root(r.root_id, migration_time)
+        ]
+        return max(old, key=lambda r: r.time) if old else None
+
+    def last_replay_receipt(self, migration_time: float) -> Optional[SinkReceipt]:
+        """Latest sink receipt of a replayed (previously failed) event after the migration."""
+        replays = [r for r in self.sink_receipts if r.time >= migration_time and r.replay_count > 0]
+        return max(replays, key=lambda r: r.time) if replays else None
+
+    def lost_in_kills(self) -> int:
+        """Total number of queued events lost across all executor kills."""
+        return sum(k.queued_events_lost for k in self.kills)
+
+    def dropped_count(self, kind: Optional[str] = None) -> int:
+        """Number of dropped deliveries, optionally filtered by event kind."""
+        if kind is None:
+            return len(self.drops)
+        return sum(1 for d in self.drops if d.kind == kind)
+
+    def deferred_count(self) -> int:
+        """Number of data events the transport held for restarting executors."""
+        return len(self.deferred)
+
+    def distinct_roots_received(self) -> int:
+        """Number of distinct root events observed at the sinks."""
+        return len({r.root_id for r in self.sink_receipts})
+
+    def summary(self) -> Dict[str, float]:
+        """Coarse counters describing the run (useful in example output)."""
+        return {
+            "source_emits": len(self.source_emits),
+            "replay_emits": self.replay_emits,
+            "sink_receipts": len(self.sink_receipts),
+            "distinct_roots_received": self.distinct_roots_received(),
+            "drops": len(self.drops),
+            "kills": len(self.kills),
+            "events_lost_in_kills": self.lost_in_kills(),
+        }

@@ -1,0 +1,139 @@
+"""Throughput and latency timelines, and the rate-stabilization detector.
+
+These produce the series behind the paper's Fig. 7 (input/output throughput
+during migration), Fig. 9 (average end-to-end latency over a moving 10 s
+window) and Fig. 8 (rate stabilization time: the first moment after which the
+output rate stays within 20 % of the expected stable rate for 60 s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.metrics.log import EventLog, SinkReceipt, SourceEmit
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """Observed rate in one time bin."""
+
+    time: float
+    rate: float
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """Average end-to-end latency over one window."""
+
+    time: float
+    latency_s: float
+    samples: int
+
+
+def _bin_rates(times: Sequence[float], start: float, end: float, bin_s: float) -> List[RatePoint]:
+    if end <= start or bin_s <= 0:
+        return []
+    num_bins = int(math.ceil((end - start) / bin_s))
+    counts = [0] * num_bins
+    for t in times:
+        if start <= t < end:
+            counts[int((t - start) / bin_s)] += 1
+    return [
+        RatePoint(time=start + (i + 0.5) * bin_s, rate=count / bin_s)
+        for i, count in enumerate(counts)
+    ]
+
+
+def rate_timeline(
+    log: EventLog,
+    kind: str = "output",
+    start: float = 0.0,
+    end: Optional[float] = None,
+    bin_s: float = 1.0,
+) -> List[RatePoint]:
+    """Input or output rate over time.
+
+    ``kind`` is ``"input"`` (source emissions, including replays and backlog
+    drains) or ``"output"`` (sink receipts).  Rates are computed per
+    ``bin_s``-second bins, as in the paper's timeline plots.
+    """
+    if kind == "input":
+        times = [e.time for e in log.source_emits]
+    elif kind == "output":
+        times = [r.time for r in log.sink_receipts]
+    else:
+        raise ValueError(f"kind must be 'input' or 'output', got {kind!r}")
+    if end is None:
+        end = log.sim.now
+    return _bin_rates(times, start, end, bin_s)
+
+
+def latency_timeline(
+    log: EventLog,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    window_s: float = 10.0,
+) -> List[LatencyPoint]:
+    """Average end-to-end latency of sink receipts over consecutive windows.
+
+    Matches the paper's Fig. 9: average event latency over a moving window of
+    10 seconds (about 80 events at the stable output rate).
+    """
+    if end is None:
+        end = log.sim.now
+    if end <= start or window_s <= 0:
+        return []
+    num_windows = int(math.ceil((end - start) / window_s))
+    sums = [0.0] * num_windows
+    counts = [0] * num_windows
+    for receipt in log.sink_receipts:
+        if start <= receipt.time < end:
+            index = int((receipt.time - start) / window_s)
+            sums[index] += receipt.latency_s
+            counts[index] += 1
+    points = []
+    for i in range(num_windows):
+        if counts[i] == 0:
+            continue
+        points.append(
+            LatencyPoint(time=start + (i + 0.5) * window_s, latency_s=sums[i] / counts[i], samples=counts[i])
+        )
+    return points
+
+
+def stabilization_time(
+    log: EventLog,
+    expected_rate: float,
+    after: float,
+    tolerance: float = 0.2,
+    window_s: float = 60.0,
+    bin_s: float = 5.0,
+    end: Optional[float] = None,
+) -> Optional[float]:
+    """Time (seconds after ``after``) at which the output rate stabilizes.
+
+    The paper defines stability as the observed output rate staying within
+    ``tolerance`` (20 %) of the expected stable output rate for ``window_s``
+    (60 s); the *start* of that stable window is the stabilization time.
+    Returns ``None`` if the rate never stabilizes before ``end``.
+    """
+    if expected_rate <= 0:
+        raise ValueError("expected_rate must be positive")
+    if end is None:
+        end = log.sim.now
+    points = rate_timeline(log, kind="output", start=after, end=end, bin_s=bin_s)
+    if not points:
+        return None
+    bins_needed = max(1, int(round(window_s / bin_s)))
+    low = expected_rate * (1.0 - tolerance)
+    high = expected_rate * (1.0 + tolerance)
+    in_band = [low <= p.rate <= high for p in points]
+    run = 0
+    for i, ok in enumerate(in_band):
+        run = run + 1 if ok else 0
+        if run >= bins_needed:
+            start_index = i - bins_needed + 1
+            return points[start_index].time - bin_s / 2.0 - after
+    return None

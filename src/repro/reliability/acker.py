@@ -1,0 +1,174 @@
+"""Storm-style acknowledgment service (XOR causal trees).
+
+Every root event emitted by a source registers a 64-bit id with the acker.
+Each causally derived event XORs its id into the tree's hash when it is
+anchored (emitted) and again when it is acked (processed); once every event
+has been anchored and acked exactly once the hash returns to zero and the
+tree is *complete*.  If the hash is still non-zero when the timeout expires
+(30 s by default) the tree has *failed* and the source replays the cached
+root event.
+
+This is exactly the mechanism the paper's DSM baseline relies on for
+reliability, and the source of its large catch-up and recovery times: events
+in flight when the rebalance kills executors never complete their trees and
+are replayed only after the 30 s timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim import Simulator, Timer
+
+
+@dataclass
+class PendingTree:
+    """Tracking state for one root event's causal tree."""
+
+    root_id: int
+    registered_at: float
+    ack_hash: int = 0
+    anchored_count: int = 0
+    acked_count: int = 0
+    timeout_timer: Optional[Timer] = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether every anchored event has been acked (hash returned to zero)."""
+        return self.ack_hash == 0 and self.anchored_count > 0
+
+
+@dataclass
+class AckerStats:
+    """Counters kept by the acker service."""
+
+    registered: int = 0
+    completed: int = 0
+    failed: int = 0
+    anchors: int = 0
+    acks: int = 0
+    late_acks: int = 0
+
+
+class AckerService:
+    """Tracks causal trees of root events and detects completion or timeout.
+
+    Callbacks
+    ---------
+    ``on_complete(root_id)``
+        Invoked when a tree completes; the source uses this to drop the cached
+        root event.
+    ``on_fail(root_id)``
+        Invoked when a tree times out; the source uses this to replay the root.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        timeout_s: float = 30.0,
+        on_complete: Optional[Callable[[int], None]] = None,
+        on_fail: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError("ack timeout must be positive")
+        self.sim = sim
+        self.timeout_s = timeout_s
+        self.on_complete = on_complete
+        self.on_fail = on_fail
+        self._pending: Dict[int, PendingTree] = {}
+        self.stats = AckerStats()
+        self.failed_roots: List[int] = []
+
+    # ----------------------------------------------------------- registration
+    def register(self, root_id: int) -> None:
+        """Start tracking a new root event (or a replayed instance of it)."""
+        if root_id in self._pending:
+            # A replay of a root that is somehow still tracked: reset the tree.
+            existing = self._pending[root_id]
+            if existing.timeout_timer is not None:
+                existing.timeout_timer.cancel()
+        tree = PendingTree(root_id=root_id, registered_at=self.sim.now)
+        tree.timeout_timer = self.sim.schedule(self.timeout_s, self._check_timeout, root_id)
+        self._pending[root_id] = tree
+        self.stats.registered += 1
+
+    def is_pending(self, root_id: int) -> bool:
+        """Whether the given root is still being tracked."""
+        return root_id in self._pending
+
+    @property
+    def pending_count(self) -> int:
+        """Number of trees currently being tracked."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------ ack / anchor
+    def anchor(self, root_id: int, event_id: int) -> None:
+        """Record that ``event_id`` was emitted as part of ``root_id``'s tree."""
+        tree = self._pending.get(root_id)
+        if tree is None:
+            return
+        tree.ack_hash ^= event_id
+        tree.anchored_count += 1
+        self.stats.anchors += 1
+
+    def ack(self, root_id: int, event_id: int) -> None:
+        """Record that ``event_id`` has been fully processed by its task."""
+        tree = self._pending.get(root_id)
+        if tree is None:
+            self.stats.late_acks += 1
+            return
+        tree.ack_hash ^= event_id
+        tree.acked_count += 1
+        self.stats.acks += 1
+        if tree.complete:
+            self._complete(root_id)
+
+    def fail(self, root_id: int) -> None:
+        """Explicitly fail a tree (e.g. user logic error), triggering a replay."""
+        if root_id in self._pending:
+            self._fail(root_id)
+
+    # --------------------------------------------------------------- internal
+    def _complete(self, root_id: int) -> None:
+        tree = self._pending.pop(root_id, None)
+        if tree is None:
+            return
+        if tree.timeout_timer is not None:
+            tree.timeout_timer.cancel()
+        self.stats.completed += 1
+        if self.on_complete is not None:
+            self.on_complete(root_id)
+
+    def _fail(self, root_id: int) -> None:
+        tree = self._pending.pop(root_id, None)
+        if tree is None:
+            return
+        if tree.timeout_timer is not None:
+            tree.timeout_timer.cancel()
+        self.stats.failed += 1
+        self.failed_roots.append(root_id)
+        if self.on_fail is not None:
+            self.on_fail(root_id)
+
+    def _check_timeout(self, root_id: int) -> None:
+        tree = self._pending.get(root_id)
+        if tree is None:
+            return
+        if tree.complete:
+            self._complete(root_id)
+        else:
+            self._fail(root_id)
+
+    # ------------------------------------------------------------ maintenance
+    def flush(self) -> int:
+        """Drop all pending trees without failing them; returns how many were dropped.
+
+        Used when acking is turned off mid-run (DCR/CCR do not ack data events).
+        """
+        count = len(self._pending)
+        for tree in self._pending.values():
+            if tree.timeout_timer is not None:
+                tree.timeout_timer.cancel()
+        self._pending.clear()
+        return count

@@ -1,0 +1,287 @@
+"""Checkpoint coordination: PREPARE / COMMIT / ROLLBACK / INIT waves.
+
+Storm's state management drives a three-phase checkpoint through the dataflow
+from a special *checkpoint source task*.  The coordinator here plays that
+role: it emits control-event waves (either **sequentially** along the dataflow
+edges, or **broadcast** directly to every task instance as CCR's modified
+``TopologyBuilder`` wiring does), tracks per-executor acknowledgments, and
+invokes completion callbacks that the migration strategies chain into their
+protocols.
+
+The coordinator is engine-agnostic: the runtime *binds* two callables into it,
+one that actually injects a wave's control events into the dataflow and one
+that reports which executors are expected to acknowledge the wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.dataflow.event import CheckpointAction
+from repro.sim import PeriodicTimer, Simulator
+
+
+class WaveMode(Enum):
+    """How a checkpoint wave's control events reach the tasks."""
+
+    #: Events are injected at the entry tasks and forwarded along dataflow
+    #: edges, guaranteeing they are the last event behind all in-flight data
+    #: (used by DCR for all actions, and by CCR for COMMIT).
+    SEQUENTIAL = "sequential"
+    #: Events are placed directly at the end of every task instance's input
+    #: queue via the hub-and-spoke checkpoint channel (used by CCR for
+    #: PREPARE and INIT).
+    BROADCAST = "broadcast"
+
+
+class WaveStatus(Enum):
+    """Lifecycle of a checkpoint wave."""
+
+    IN_PROGRESS = "in_progress"
+    COMPLETE = "complete"
+    ROLLED_BACK = "rolled_back"
+    CANCELLED = "cancelled"
+
+
+#: Emitter signature bound by the runtime: inject a wave into the dataflow.
+WaveEmitter = Callable[[CheckpointAction, int, WaveMode], None]
+#: Provider of the executor ids expected to acknowledge a wave.
+ExpectedProvider = Callable[[], Set[str]]
+
+
+@dataclass
+class CheckpointWave:
+    """Tracking state for one wave of one action."""
+
+    checkpoint_id: int
+    action: CheckpointAction
+    mode: WaveMode
+    expected: Set[str]
+    started_at: float
+    acked: Set[str] = field(default_factory=set)
+    status: WaveStatus = WaveStatus.IN_PROGRESS
+    completed_at: Optional[float] = None
+    emit_count: int = 0
+    on_complete: Optional[Callable[["CheckpointWave"], None]] = None
+    resend_timer: Optional[PeriodicTimer] = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether every expected executor has acknowledged the wave."""
+        return self.expected.issubset(self.acked)
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        """Wave duration, if completed."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    @property
+    def pending(self) -> Set[str]:
+        """Executors that have not acknowledged yet."""
+        return self.expected - self.acked
+
+
+class CheckpointCoordinator:
+    """Emits checkpoint waves and tracks their acknowledgment.
+
+    The coordinator supports:
+
+    * one-shot waves with an optional re-send timer (DCR/CCR re-emit INIT every
+      second; DSM's INIT is re-sent only after the 30 s ack timeout),
+    * a full checkpoint (PREPARE followed by COMMIT) used both periodically by
+      DSM and just-in-time by DCR/CCR,
+    * periodic checkpointing at a fixed interval (Storm's default 30 s).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._emitter: Optional[WaveEmitter] = None
+        self._expected_provider: Optional[ExpectedProvider] = None
+        self._waves: Dict[Tuple[int, CheckpointAction], CheckpointWave] = {}
+        self._checkpoint_counter = 0
+        self._periodic: Optional[PeriodicTimer] = None
+        self._periodic_in_flight = False
+        self.history: List[CheckpointWave] = []
+
+    # ----------------------------------------------------------------- wiring
+    def bind(self, emitter: WaveEmitter, expected_provider: ExpectedProvider) -> None:
+        """Bind the runtime's wave emitter and expected-ack provider."""
+        self._emitter = emitter
+        self._expected_provider = expected_provider
+
+    @property
+    def bound(self) -> bool:
+        """Whether the coordinator has been bound to a runtime."""
+        return self._emitter is not None and self._expected_provider is not None
+
+    def new_checkpoint_id(self) -> int:
+        """Allocate a fresh checkpoint (wave) id."""
+        self._checkpoint_counter += 1
+        return self._checkpoint_counter
+
+    @property
+    def last_checkpoint_id(self) -> int:
+        """Most recently allocated checkpoint id (0 if none)."""
+        return self._checkpoint_counter
+
+    # ------------------------------------------------------------------ waves
+    def start_wave(
+        self,
+        action: CheckpointAction,
+        checkpoint_id: Optional[int] = None,
+        mode: WaveMode = WaveMode.SEQUENTIAL,
+        on_complete: Optional[Callable[[CheckpointWave], None]] = None,
+        resend_interval_s: Optional[float] = None,
+        expected: Optional[Set[str]] = None,
+    ) -> CheckpointWave:
+        """Start a wave of ``action`` control events.
+
+        Parameters
+        ----------
+        action:
+            PREPARE, COMMIT, ROLLBACK or INIT.
+        checkpoint_id:
+            Wave id; allocated automatically if omitted.
+        mode:
+            Sequential (along dataflow edges) or broadcast (hub-and-spoke).
+        on_complete:
+            Called with the wave once all expected executors have acked.
+        resend_interval_s:
+            If given, the wave's control events are re-emitted at this period
+            until the wave completes.  Executors ignore duplicates but still
+            acknowledge them, so lost control events are eventually recovered.
+        expected:
+            Explicit set of executor ids expected to ack; defaults to the
+            runtime-provided set of live user-task executors.
+        """
+        if not self.bound:
+            raise RuntimeError("CheckpointCoordinator.start_wave called before bind()")
+        if checkpoint_id is None:
+            checkpoint_id = self.new_checkpoint_id()
+        expected_set = set(expected) if expected is not None else set(self._expected_provider())
+        wave = CheckpointWave(
+            checkpoint_id=checkpoint_id,
+            action=action,
+            mode=mode,
+            expected=expected_set,
+            started_at=self.sim.now,
+            on_complete=on_complete,
+        )
+        self._waves[(checkpoint_id, action)] = wave
+        self._emit(wave)
+        if resend_interval_s is not None and resend_interval_s > 0:
+            wave.resend_timer = self.sim.every(resend_interval_s, self._resend, wave)
+        if not expected_set:
+            self._finish(wave)
+        return wave
+
+    def _emit(self, wave: CheckpointWave) -> None:
+        wave.emit_count += 1
+        self._emitter(wave.action, wave.checkpoint_id, wave.mode)
+
+    def _resend(self, wave: CheckpointWave) -> None:
+        if wave.status is not WaveStatus.IN_PROGRESS:
+            return
+        self._emit(wave)
+
+    def notify_ack(self, executor_id: str, action: CheckpointAction, checkpoint_id: int) -> None:
+        """Record that an executor acknowledged the given wave (idempotent)."""
+        wave = self._waves.get((checkpoint_id, action))
+        if wave is None or wave.status is not WaveStatus.IN_PROGRESS:
+            return
+        wave.acked.add(executor_id)
+        if wave.complete:
+            self._finish(wave)
+
+    def _finish(self, wave: CheckpointWave) -> None:
+        if wave.status is not WaveStatus.IN_PROGRESS:
+            return
+        wave.status = WaveStatus.COMPLETE
+        wave.completed_at = self.sim.now
+        if wave.resend_timer is not None:
+            wave.resend_timer.cancel()
+        self.history.append(wave)
+        if wave.on_complete is not None:
+            wave.on_complete(wave)
+
+    def cancel_wave(self, wave: CheckpointWave) -> None:
+        """Abort a wave without completing it."""
+        if wave.status is WaveStatus.IN_PROGRESS:
+            wave.status = WaveStatus.CANCELLED
+            if wave.resend_timer is not None:
+                wave.resend_timer.cancel()
+            self.history.append(wave)
+
+    def wave(self, checkpoint_id: int, action: CheckpointAction) -> Optional[CheckpointWave]:
+        """Look up a wave by id and action."""
+        return self._waves.get((checkpoint_id, action))
+
+    # ------------------------------------------------------- full checkpoints
+    def run_checkpoint(
+        self,
+        prepare_mode: WaveMode = WaveMode.SEQUENTIAL,
+        commit_mode: WaveMode = WaveMode.SEQUENTIAL,
+        on_complete: Optional[Callable[[int], None]] = None,
+        checkpoint_id: Optional[int] = None,
+    ) -> int:
+        """Run a full checkpoint: PREPARE wave, then COMMIT wave.
+
+        Returns the checkpoint id.  ``on_complete(checkpoint_id)`` fires once
+        the COMMIT wave has been acknowledged by every task, i.e. all task
+        states (and, for CCR, captured events) are persisted.
+        """
+        cid = checkpoint_id if checkpoint_id is not None else self.new_checkpoint_id()
+
+        def _after_commit(_wave: CheckpointWave) -> None:
+            self._periodic_in_flight = False
+            if on_complete is not None:
+                on_complete(cid)
+
+        def _after_prepare(_wave: CheckpointWave) -> None:
+            self.start_wave(CheckpointAction.COMMIT, cid, commit_mode, on_complete=_after_commit)
+
+        self.start_wave(CheckpointAction.PREPARE, cid, prepare_mode, on_complete=_after_prepare)
+        return cid
+
+    # --------------------------------------------------------------- periodic
+    def start_periodic(self, interval_s: float = 30.0) -> None:
+        """Enable periodic checkpointing (Storm's default behaviour under DSM)."""
+        if self._periodic is not None:
+            raise RuntimeError("periodic checkpointing is already enabled")
+        self._periodic = self.sim.every(interval_s, self._periodic_tick)
+
+    def _periodic_tick(self) -> None:
+        if self._periodic_in_flight:
+            return
+        self._periodic_in_flight = True
+        self.run_checkpoint()
+
+    def stop_periodic(self) -> None:
+        """Disable periodic checkpointing."""
+        if self._periodic is not None:
+            self._periodic.cancel()
+            self._periodic = None
+
+    @property
+    def periodic_enabled(self) -> bool:
+        """Whether periodic checkpointing is currently active."""
+        return self._periodic is not None
+
+    # -------------------------------------------------------------- inspection
+    def completed_waves(self, action: Optional[CheckpointAction] = None) -> List[CheckpointWave]:
+        """All completed waves, optionally filtered by action."""
+        waves = [w for w in self.history if w.status is WaveStatus.COMPLETE]
+        if action is not None:
+            waves = [w for w in waves if w.action is action]
+        return waves
+
+    def last_committed_checkpoint(self) -> Optional[int]:
+        """Id of the most recent checkpoint whose COMMIT wave completed."""
+        commits = self.completed_waves(CheckpointAction.COMMIT)
+        if not commits:
+            return None
+        return max(w.checkpoint_id for w in commits)

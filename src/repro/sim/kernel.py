@@ -1,0 +1,258 @@
+"""Discrete-event simulation kernel.
+
+The kernel is intentionally small: a virtual clock, a priority queue of
+scheduled callbacks, and helpers for periodic timers.  Components of the
+Storm-like engine (executors, ackers, checkpoint coordinators, the cloud
+substrate) interact only through :meth:`Simulator.schedule`, which keeps the
+whole system deterministic and single-threaded.
+
+Times are expressed in **seconds of simulated time** as floats.  Sub-millisecond
+resolution is routinely used (e.g. state-store write latency).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid interactions with the simulation kernel."""
+
+
+class Timer:
+    """Handle to a scheduled callback.
+
+    A ``Timer`` is returned by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at` and can be cancelled before it fires.  After
+    the callback has run (or the timer has been cancelled) the handle is inert.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        kwargs: dict,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer is still pending (not cancelled, not fired)."""
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Timer(t={self.time:.6f}, {name}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1.5
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        if not math.isfinite(start_time):
+            raise SimulationError("start_time must be finite")
+        self._now = float(start_time)
+        self._queue: List[Tuple[float, int, Timer]] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks that have been executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled (not yet executed, possibly cancelled) events."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Timer:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative and finite.  Returns a :class:`Timer`
+        handle that may be cancelled before it fires.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Timer:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if not math.isfinite(time):
+            raise SimulationError("scheduled time must be finite")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, which is before now={self._now:.6f}"
+            )
+        if not callable(callback):
+            raise SimulationError(f"callback must be callable, got {callback!r}")
+        timer = Timer(time, next(self._counter), callback, args, kwargs)
+        heapq.heappush(self._queue, (timer.time, timer.seq, timer))
+        return timer
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_delay: Optional[float] = None,
+        **kwargs: Any,
+    ) -> "PeriodicTimer":
+        """Schedule ``callback`` to run every ``period`` seconds until cancelled.
+
+        The first firing happens after ``start_delay`` seconds (default: one
+        full period).
+        """
+        return PeriodicTimer(self, period, callback, args, kwargs, start_delay=start_delay)
+
+    # ---------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue was
+        empty (only cancelled timers or nothing at all).
+        """
+        while self._queue:
+            _, _, timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            self._now = timer.time
+            timer.fired = True
+            self._processed += 1
+            timer.callback(*timer.args, **timer.kwargs)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would advance beyond this value.  The
+            clock is left at ``until`` (if provided) or at the time of the last
+            executed event.
+        max_events:
+            Safety valve: stop after this many callbacks.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue and not self._stopped:
+                time_next = self._queue[0][0]
+                if until is not None and time_next > until:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+            if until is not None and not self._stopped and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` invocation to stop after the current event."""
+        self._stopped = True
+
+    def advance(self, delta: float) -> None:
+        """Run the simulation for ``delta`` seconds of simulated time from now."""
+        if delta < 0:
+            raise SimulationError("cannot advance by a negative duration")
+        self.run(until=self._now + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.3f}, pending={len(self._queue)})"
+
+
+class PeriodicTimer:
+    """Repeating timer built on top of :class:`Simulator`.
+
+    Used for the checkpoint coordinator's periodic checkpoint waves, the
+    aggressive 1-second INIT re-sends of DCR/CCR, source-task event generation,
+    and metric sampling.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[dict] = None,
+        start_delay: Optional[float] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        self._sim = sim
+        self.period = period
+        self._callback = callback
+        self._args = args
+        self._kwargs = kwargs or {}
+        self._cancelled = False
+        self.fire_count = 0
+        first = period if start_delay is None else start_delay
+        self._timer = sim.schedule(first, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fire_count += 1
+        self._callback(*self._args, **self._kwargs)
+        if not self._cancelled:
+            self._timer = self._sim.schedule(self.period, self._fire)
+
+    def cancel(self) -> None:
+        """Stop future firings.  Idempotent."""
+        self._cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+
+    @property
+    def active(self) -> bool:
+        """Whether the periodic timer will continue to fire."""
+        return not self._cancelled

@@ -1,0 +1,85 @@
+"""Synthetic event payload factories.
+
+A payload factory is a callable ``(sequence_number) -> payload`` plugged into a
+:class:`~repro.dataflow.task.SourceTask`.  The factories here generate
+deterministic pseudo-realistic payloads for the domains the paper's
+application DAGs model: GPS probe events (Traffic) and smart-meter readings
+(Grid), plus a generic sensor observation.  Payload contents never affect the
+migration protocols (the paper uses dummy task logic), but they make the
+examples and the fields-grouping path realistic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict
+
+from repro.sim import RandomSource
+
+#: Type of a source payload factory.
+PayloadFactory = Callable[[int], Dict[str, Any]]
+
+
+def sensor_payload_factory(sensor_count: int = 100, seed: int = 7) -> PayloadFactory:
+    """Generic sensor observation: cycling sensor ids with a noisy sinusoidal value."""
+    rng = RandomSource(seed)
+
+    def _factory(sequence: int) -> Dict[str, Any]:
+        sensor_id = sequence % sensor_count
+        base = 50.0 + 25.0 * math.sin(sequence / 40.0)
+        noise = rng.gauss("sensor-noise", 0.0, 2.0)
+        return {
+            "seq": sequence,
+            "key": f"sensor-{sensor_id}",
+            "value": round(base + noise, 3),
+        }
+
+    return _factory
+
+
+def gps_payload_factory(vehicle_count: int = 500, seed: int = 11) -> PayloadFactory:
+    """GPS probe events as used by the Traffic application DAG.
+
+    Vehicles move around a small grid of road segments; each event carries the
+    vehicle id (the fields-grouping key), its segment, speed and heading.
+    """
+    rng = RandomSource(seed)
+
+    def _factory(sequence: int) -> Dict[str, Any]:
+        vehicle_id = sequence % vehicle_count
+        segment = (sequence // vehicle_count + vehicle_id) % 64
+        speed = max(0.0, rng.gauss("gps-speed", 38.0, 12.0))
+        return {
+            "seq": sequence,
+            "key": f"vehicle-{vehicle_id}",
+            "segment": f"seg-{segment}",
+            "speed_kmph": round(speed, 1),
+            "heading_deg": (vehicle_id * 37 + sequence) % 360,
+        }
+
+    return _factory
+
+
+def smart_meter_payload_factory(meter_count: int = 1000, seed: int = 13) -> PayloadFactory:
+    """Smart-meter readings as used by the Grid application DAG.
+
+    Each event carries the meter id (the fields-grouping key), the interval
+    energy consumption in kWh, and an ambient temperature reading so the
+    weather branch has something to work with.
+    """
+    rng = RandomSource(seed)
+
+    def _factory(sequence: int) -> Dict[str, Any]:
+        meter_id = sequence % meter_count
+        hour_of_day = (sequence // 3600) % 24
+        diurnal = 0.4 + 0.3 * math.sin((hour_of_day - 6) / 24.0 * 2 * math.pi)
+        usage = max(0.01, diurnal + rng.gauss("meter-noise", 0.0, 0.05))
+        temperature = 24.0 + 8.0 * math.sin(sequence / 500.0) + rng.gauss("temp-noise", 0.0, 0.5)
+        return {
+            "seq": sequence,
+            "key": f"meter-{meter_id}",
+            "kwh": round(usage, 4),
+            "temperature_c": round(temperature, 2),
+        }
+
+    return _factory

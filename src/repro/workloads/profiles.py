@@ -1,0 +1,111 @@
+"""Input-rate profiles.
+
+The paper's evaluation keeps the source rate fixed at 8 events/second; these
+profiles exist so examples (and downstream users) can model the *dynamism*
+that motivates migration in the first place -- input-rate changes that make
+the current placement sub-optimal and trigger a scale-in or scale-out.
+
+A profile maps simulated time to an instantaneous event rate.  The helper
+:meth:`RateProfile.average_rate` integrates it over an interval, which the
+examples use to pick a target VM allocation (one instance per 8 ev/s, as in
+the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class RateProfile(ABC):
+    """Time-varying input rate (events/second)."""
+
+    @abstractmethod
+    def rate_at(self, time_s: float) -> float:
+        """Instantaneous rate at the given simulated time."""
+
+    def average_rate(self, start_s: float, end_s: float, samples: int = 100) -> float:
+        """Average rate over ``[start_s, end_s]`` (simple midpoint sampling)."""
+        if end_s <= start_s:
+            raise ValueError("end_s must be greater than start_s")
+        step = (end_s - start_s) / samples
+        total = 0.0
+        for i in range(samples):
+            total += self.rate_at(start_s + (i + 0.5) * step)
+        return total / samples
+
+
+@dataclass
+class ConstantRateProfile(RateProfile):
+    """Fixed rate, as used in all the paper's experiments (8 ev/s)."""
+
+    rate: float = 8.0
+
+    def rate_at(self, time_s: float) -> float:
+        return self.rate
+
+
+@dataclass
+class StepProfile(RateProfile):
+    """Rate that jumps between levels at given times.
+
+    ``steps`` is a list of ``(start_time, rate)`` pairs sorted by time; the
+    rate before the first step is the first rate.
+    """
+
+    steps: List[Tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("StepProfile needs at least one step")
+        self.steps = sorted(self.steps, key=lambda s: s[0])
+
+    def rate_at(self, time_s: float) -> float:
+        rate = self.steps[0][1]
+        for start, step_rate in self.steps:
+            if time_s >= start:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+
+@dataclass
+class RampProfile(RateProfile):
+    """Linear ramp from ``start_rate`` to ``end_rate`` over ``[ramp_start, ramp_end]``."""
+
+    start_rate: float
+    end_rate: float
+    ramp_start_s: float
+    ramp_end_s: float
+
+    def rate_at(self, time_s: float) -> float:
+        if time_s <= self.ramp_start_s:
+            return self.start_rate
+        if time_s >= self.ramp_end_s:
+            return self.end_rate
+        fraction = (time_s - self.ramp_start_s) / (self.ramp_end_s - self.ramp_start_s)
+        return self.start_rate + fraction * (self.end_rate - self.start_rate)
+
+
+@dataclass
+class BurstProfile(RateProfile):
+    """A base rate with periodic multiplicative bursts.
+
+    Models the "spiky" streams (e.g. social-media or alert storms) that make
+    latency-sensitive applications want rapid elasticity.
+    """
+
+    base_rate: float = 8.0
+    burst_multiplier: float = 4.0
+    burst_period_s: float = 300.0
+    burst_duration_s: float = 30.0
+
+    def rate_at(self, time_s: float) -> float:
+        if self.burst_period_s <= 0:
+            return self.base_rate
+        phase = time_s % self.burst_period_s
+        if phase < self.burst_duration_s:
+            return self.base_rate * self.burst_multiplier
+        return self.base_rate

@@ -1,0 +1,161 @@
+"""Unit tests for the XOR-based acknowledgment service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reliability.acker import AckerService
+from repro.sim import Simulator
+
+
+def make_acker(sim, timeout=30.0):
+    completed = []
+    failed = []
+    acker = AckerService(sim, timeout_s=timeout, on_complete=completed.append, on_fail=failed.append)
+    return acker, completed, failed
+
+
+class TestCompletion:
+    def test_single_event_tree_completes(self, sim):
+        acker, completed, failed = make_acker(sim)
+        acker.register(100)
+        acker.anchor(100, 1)
+        acker.ack(100, 1)
+        assert completed == [100]
+        assert failed == []
+        assert not acker.is_pending(100)
+
+    def test_linear_chain_completes(self, sim):
+        acker, completed, _ = make_acker(sim)
+        acker.register(100)
+        acker.anchor(100, 1)
+        acker.anchor(100, 2)
+        acker.ack(100, 1)
+        assert completed == []
+        acker.ack(100, 2)
+        assert completed == [100]
+
+    def test_fanout_tree_completes_only_when_all_acked(self, sim):
+        acker, completed, _ = make_acker(sim)
+        acker.register(100)
+        event_ids = [11, 22, 33, 44]
+        for event_id in event_ids:
+            acker.anchor(100, event_id)
+        for event_id in event_ids[:-1]:
+            acker.ack(100, event_id)
+        assert completed == []
+        acker.ack(100, event_ids[-1])
+        assert completed == [100]
+
+    def test_interleaved_anchor_and_ack(self, sim):
+        acker, completed, _ = make_acker(sim)
+        acker.register(100)
+        acker.anchor(100, 1)
+        acker.ack(100, 1)
+        # A new anchor after the hash returned to zero would have completed the
+        # tree already; completion fires once.
+        assert completed == [100]
+
+    def test_completion_cancels_timeout(self, sim):
+        acker, completed, failed = make_acker(sim, timeout=10.0)
+        acker.register(100)
+        acker.anchor(100, 1)
+        acker.ack(100, 1)
+        sim.run(until=60.0)
+        assert completed == [100]
+        assert failed == []
+
+    def test_multiple_roots_tracked_independently(self, sim):
+        acker, completed, _ = make_acker(sim)
+        acker.register(1)
+        acker.register(2)
+        acker.anchor(1, 10)
+        acker.anchor(2, 20)
+        acker.ack(2, 20)
+        assert completed == [2]
+        assert acker.is_pending(1)
+
+
+class TestFailure:
+    def test_timeout_fails_incomplete_tree(self, sim):
+        acker, completed, failed = make_acker(sim, timeout=5.0)
+        acker.register(100)
+        acker.anchor(100, 1)
+        sim.run(until=10.0)
+        assert failed == [100]
+        assert completed == []
+        assert acker.stats.failed == 1
+
+    def test_tree_with_no_anchors_fails_on_timeout(self, sim):
+        acker, _, failed = make_acker(sim, timeout=5.0)
+        acker.register(100)
+        sim.run(until=10.0)
+        assert failed == [100]
+
+    def test_explicit_fail(self, sim):
+        acker, _, failed = make_acker(sim)
+        acker.register(100)
+        acker.fail(100)
+        assert failed == [100]
+        assert not acker.is_pending(100)
+
+    def test_ack_after_failure_is_counted_late(self, sim):
+        acker, _, failed = make_acker(sim, timeout=5.0)
+        acker.register(100)
+        acker.anchor(100, 1)
+        sim.run(until=10.0)
+        acker.ack(100, 1)
+        assert failed == [100]
+        assert acker.stats.late_acks == 1
+
+    def test_reregistration_after_failure_allows_replay_to_complete(self, sim):
+        acker, completed, failed = make_acker(sim, timeout=5.0)
+        acker.register(100)
+        acker.anchor(100, 1)
+        sim.run(until=6.0)
+        assert failed == [100]
+        # Replay: register the same root again and complete it this time.
+        acker.register(100)
+        acker.anchor(100, 2)
+        acker.ack(100, 2)
+        assert completed == [100]
+
+    def test_failed_roots_recorded(self, sim):
+        acker, _, _ = make_acker(sim, timeout=2.0)
+        for root in (1, 2, 3):
+            acker.register(root)
+        sim.run(until=5.0)
+        assert sorted(acker.failed_roots) == [1, 2, 3]
+
+
+class TestMaintenance:
+    def test_invalid_timeout_rejected(self, sim):
+        with pytest.raises(ValueError):
+            AckerService(sim, timeout_s=0.0)
+
+    def test_ack_for_unknown_root_is_ignored(self, sim):
+        acker, completed, failed = make_acker(sim)
+        acker.ack(999, 1)
+        acker.anchor(999, 1)
+        assert completed == []
+        assert failed == []
+
+    def test_flush_drops_pending_without_failing(self, sim):
+        acker, _, failed = make_acker(sim, timeout=5.0)
+        for root in (1, 2):
+            acker.register(root)
+        dropped = acker.flush()
+        sim.run(until=10.0)
+        assert dropped == 2
+        assert failed == []
+        assert acker.pending_count == 0
+
+    def test_stats_counters(self, sim):
+        acker, _, _ = make_acker(sim)
+        acker.register(1)
+        acker.anchor(1, 5)
+        acker.ack(1, 5)
+        assert acker.stats.registered == 1
+        assert acker.stats.anchors == 1
+        assert acker.stats.acks == 1
+        assert acker.stats.completed == 1

@@ -1,0 +1,173 @@
+"""Unit tests for the checkpoint coordinator (wave tracking, re-sends, periodic mode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.event import CheckpointAction
+from repro.reliability.checkpoint import CheckpointCoordinator, WaveMode, WaveStatus
+from repro.sim import Simulator
+
+
+class FakeRuntime:
+    """Minimal emitter/expected-provider pair for coordinator tests."""
+
+    def __init__(self, sim, executors=("a#0", "b#0", "b#1")):
+        self.sim = sim
+        self.executors = set(executors)
+        self.emitted = []
+
+    def emit(self, action, checkpoint_id, mode):
+        self.emitted.append((self.sim.now, action, checkpoint_id, mode))
+
+    def expected(self):
+        return set(self.executors)
+
+
+def make_coordinator(sim, executors=("a#0", "b#0", "b#1")):
+    runtime = FakeRuntime(sim, executors)
+    coordinator = CheckpointCoordinator(sim)
+    coordinator.bind(runtime.emit, runtime.expected)
+    return coordinator, runtime
+
+
+class TestWaveLifecycle:
+    def test_wave_requires_binding(self, sim):
+        with pytest.raises(RuntimeError):
+            CheckpointCoordinator(sim).start_wave(CheckpointAction.PREPARE)
+
+    def test_wave_emits_once_on_start(self, sim):
+        coordinator, runtime = make_coordinator(sim)
+        wave = coordinator.start_wave(CheckpointAction.PREPARE, mode=WaveMode.BROADCAST)
+        assert len(runtime.emitted) == 1
+        assert runtime.emitted[0][1] is CheckpointAction.PREPARE
+        assert wave.status is WaveStatus.IN_PROGRESS
+
+    def test_wave_completes_when_all_expected_ack(self, sim):
+        coordinator, runtime = make_coordinator(sim)
+        done = []
+        wave = coordinator.start_wave(CheckpointAction.PREPARE, on_complete=done.append)
+        for executor in ("a#0", "b#0"):
+            coordinator.notify_ack(executor, CheckpointAction.PREPARE, wave.checkpoint_id)
+        assert not done
+        coordinator.notify_ack("b#1", CheckpointAction.PREPARE, wave.checkpoint_id)
+        assert done == [wave]
+        assert wave.status is WaveStatus.COMPLETE
+        assert wave.duration_s is not None
+
+    def test_duplicate_acks_are_idempotent(self, sim):
+        coordinator, _ = make_coordinator(sim)
+        wave = coordinator.start_wave(CheckpointAction.COMMIT)
+        for _ in range(3):
+            coordinator.notify_ack("a#0", CheckpointAction.COMMIT, wave.checkpoint_id)
+        assert wave.acked == {"a#0"}
+        assert wave.status is WaveStatus.IN_PROGRESS
+
+    def test_ack_for_wrong_action_is_ignored(self, sim):
+        coordinator, _ = make_coordinator(sim)
+        wave = coordinator.start_wave(CheckpointAction.PREPARE)
+        coordinator.notify_ack("a#0", CheckpointAction.COMMIT, wave.checkpoint_id)
+        assert wave.acked == set()
+
+    def test_empty_expected_set_completes_immediately(self, sim):
+        coordinator, _ = make_coordinator(sim, executors=())
+        done = []
+        wave = coordinator.start_wave(CheckpointAction.INIT, on_complete=done.append)
+        assert wave.status is WaveStatus.COMPLETE
+        assert done == [wave]
+
+    def test_explicit_expected_set_overrides_provider(self, sim):
+        coordinator, _ = make_coordinator(sim)
+        wave = coordinator.start_wave(CheckpointAction.INIT, expected={"only#0"})
+        coordinator.notify_ack("only#0", CheckpointAction.INIT, wave.checkpoint_id)
+        assert wave.status is WaveStatus.COMPLETE
+
+    def test_cancel_wave(self, sim):
+        coordinator, _ = make_coordinator(sim)
+        wave = coordinator.start_wave(CheckpointAction.PREPARE)
+        coordinator.cancel_wave(wave)
+        assert wave.status is WaveStatus.CANCELLED
+        coordinator.notify_ack("a#0", CheckpointAction.PREPARE, wave.checkpoint_id)
+        assert wave.status is WaveStatus.CANCELLED
+
+
+class TestResend:
+    def test_wave_resends_until_complete(self, sim):
+        coordinator, runtime = make_coordinator(sim)
+        wave = coordinator.start_wave(CheckpointAction.INIT, resend_interval_s=1.0)
+        sim.run(until=3.5)
+        assert len(runtime.emitted) == 4  # initial + 3 re-sends
+        for executor in ("a#0", "b#0", "b#1"):
+            coordinator.notify_ack(executor, CheckpointAction.INIT, wave.checkpoint_id)
+        emitted_before = len(runtime.emitted)
+        sim.run(until=10.0)
+        assert len(runtime.emitted) == emitted_before
+        assert wave.emit_count == emitted_before
+
+    def test_resend_interval_of_ack_timeout_used_by_dsm(self, sim):
+        coordinator, runtime = make_coordinator(sim)
+        coordinator.start_wave(CheckpointAction.INIT, resend_interval_s=30.0)
+        sim.run(until=65.0)
+        assert len(runtime.emitted) == 3  # initial + re-sends at 30 s and 60 s
+
+
+class TestFullCheckpointAndPeriodic:
+    def test_run_checkpoint_chains_prepare_then_commit(self, sim):
+        coordinator, runtime = make_coordinator(sim)
+        finished = []
+        cid = coordinator.run_checkpoint(on_complete=finished.append)
+        # PREPARE emitted first; COMMIT only after all PREPARE acks.
+        assert [action for _, action, _, _ in runtime.emitted] == [CheckpointAction.PREPARE]
+        for executor in ("a#0", "b#0", "b#1"):
+            coordinator.notify_ack(executor, CheckpointAction.PREPARE, cid)
+        assert [action for _, action, _, _ in runtime.emitted] == [
+            CheckpointAction.PREPARE,
+            CheckpointAction.COMMIT,
+        ]
+        for executor in ("a#0", "b#0", "b#1"):
+            coordinator.notify_ack(executor, CheckpointAction.COMMIT, cid)
+        assert finished == [cid]
+        assert coordinator.last_committed_checkpoint() == cid
+
+    def test_periodic_checkpointing_fires_repeatedly(self, sim):
+        coordinator, runtime = make_coordinator(sim)
+        coordinator.start_periodic(interval_s=10.0)
+
+        def auto_ack():
+            for _, action, cid, _ in list(runtime.emitted):
+                for executor in ("a#0", "b#0", "b#1"):
+                    coordinator.notify_ack(executor, action, cid)
+
+        sim.every(1.0, auto_ack)
+        sim.run(until=35.0)
+        commits = coordinator.completed_waves(CheckpointAction.COMMIT)
+        assert len(commits) == 3
+
+    def test_periodic_skips_tick_while_previous_in_flight(self, sim):
+        coordinator, runtime = make_coordinator(sim)
+        coordinator.start_periodic(interval_s=5.0)
+        # Never ack: only the first PREPARE wave should ever be emitted.
+        sim.run(until=30.0)
+        prepares = [e for e in runtime.emitted if e[1] is CheckpointAction.PREPARE]
+        assert len(prepares) == 1
+
+    def test_double_start_periodic_rejected(self, sim):
+        coordinator, _ = make_coordinator(sim)
+        coordinator.start_periodic(interval_s=5.0)
+        with pytest.raises(RuntimeError):
+            coordinator.start_periodic(interval_s=5.0)
+
+    def test_stop_periodic(self, sim):
+        coordinator, runtime = make_coordinator(sim)
+        coordinator.start_periodic(interval_s=5.0)
+        coordinator.stop_periodic()
+        sim.run(until=30.0)
+        assert runtime.emitted == []
+        assert not coordinator.periodic_enabled
+
+    def test_checkpoint_ids_increase(self, sim):
+        coordinator, _ = make_coordinator(sim)
+        first = coordinator.new_checkpoint_id()
+        second = coordinator.new_checkpoint_id()
+        assert second == first + 1
+        assert coordinator.last_checkpoint_id == second

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_describe_arguments(self):
+        args = build_parser().parse_args(["describe", "grid"])
+        assert args.command == "describe"
+        assert args.dag == "grid"
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["experiment"])
+        assert args.dag == "grid"
+        assert args.strategy == "ccr"
+        assert args.scaling == "in"
+        assert args.migrate_at == 90.0
+
+    def test_unknown_dag_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["describe", "unknown-dag"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig42"])
+
+
+class TestCommands:
+    def test_describe_prints_topology(self, capsys):
+        exit_code = main(["describe", "star"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "hub" in output
+        assert "spoke_in_a" in output
+
+    def test_figure_table1(self, capsys):
+        exit_code = main(["figure", "table1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "grid" in output and "21" in output
+
+    def test_figure_statestore(self, capsys):
+        exit_code = main(["figure", "statestore"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2000" in output
+
+    def test_experiment_command_runs_quickly_with_small_window(self, capsys):
+        exit_code = main([
+            "experiment", "--dag", "linear", "--strategy", "ccr", "--scaling", "in",
+            "--migrate-at", "30", "--duration", "120", "--seed", "5",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "restore_s" in output
+        assert "Protocol phases" in output
+
+    def test_figure_fig5_with_subset_of_dags(self, capsys):
+        exit_code = main([
+            "figure", "fig5", "--scaling", "in", "--dags", "linear",
+            "--migrate-at", "30", "--duration", "150", "--seed", "5",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "linear" in output
+        assert "dsm" in output and "ccr" in output

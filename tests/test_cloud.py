@@ -1,0 +1,125 @@
+"""Unit tests for the cloud provider, cluster and network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cloud import CloudProvider, Cluster, NetworkModel
+from repro.cluster.vm import D1, D2, D3, VirtualMachine
+from repro.sim import Simulator
+
+
+class TestCloudProvider:
+    def test_provision_creates_requested_count(self, sim):
+        provider = CloudProvider(sim)
+        vms = provider.provision(D2, 3)
+        assert len(vms) == 3
+        assert all(vm.vm_type is D2 for vm in vms)
+        assert all(vm.active for vm in vms)
+
+    def test_vm_ids_are_unique(self, sim):
+        provider = CloudProvider(sim)
+        vms = provider.provision(D1, 5) + provider.provision(D3, 2)
+        assert len({vm.vm_id for vm in vms}) == 7
+
+    def test_provision_zero_rejected(self, sim):
+        with pytest.raises(ValueError):
+            CloudProvider(sim).provision(D1, 0)
+
+    def test_deprovision_requires_empty_slots(self, sim):
+        provider = CloudProvider(sim)
+        vm = provider.provision(D2, 1)[0]
+        vm.slot(0).assign("task#0")
+        with pytest.raises(ValueError):
+            provider.deprovision(vm)
+        vm.slot(0).release()
+        provider.deprovision(vm)
+        assert not vm.active
+
+    def test_billing_rounds_up_to_minute(self, sim):
+        provider = CloudProvider(sim, billing_granularity_s=60.0)
+        vm = provider.provision(D2, 1)[0]
+        sim.schedule(90.0, lambda: None)
+        sim.run()
+        provider.deprovision(vm)
+        record = provider.billing_records[0]
+        # 90 s rounds up to 120 s of billing.
+        assert record.cost(sim.now) == pytest.approx(D2.hourly_cost * 120.0 / 3600.0)
+
+    def test_total_cost_accrues_while_running(self, sim):
+        provider = CloudProvider(sim)
+        provider.provision(D3, 2)
+        sim.schedule(600.0, lambda: None)
+        sim.run()
+        assert provider.total_cost() > 0.0
+
+
+class TestCluster:
+    def test_add_and_remove_vm(self, sim):
+        provider = CloudProvider(sim)
+        cluster = Cluster()
+        vm = provider.provision(D2, 1)[0]
+        cluster.add_vm(vm)
+        assert vm.vm_id in cluster
+        assert len(cluster) == 1
+        removed = cluster.remove_vm(vm.vm_id)
+        assert removed is vm
+        assert len(cluster) == 0
+
+    def test_duplicate_add_rejected(self, sim):
+        cluster = Cluster()
+        vm = CloudProvider(sim).provision(D1, 1)[0]
+        cluster.add_vm(vm)
+        with pytest.raises(ValueError):
+            cluster.add_vm(vm)
+
+    def test_remove_unknown_vm_rejected(self):
+        with pytest.raises(KeyError):
+            Cluster().remove_vm("nope")
+
+    def test_slot_counting(self, sim):
+        provider = CloudProvider(sim)
+        cluster = Cluster(provider.provision(D2, 2) + provider.provision(D3, 1))
+        assert cluster.total_slots == 2 * 2 + 4
+        assert len(cluster.free_slots) == 8
+
+    def test_find_slot_and_slot_vm(self, sim):
+        provider = CloudProvider(sim)
+        vm = provider.provision(D2, 1)[0]
+        cluster = Cluster([vm])
+        slot = cluster.find_slot(vm.slots[1].slot_id)
+        assert slot is vm.slots[1]
+        assert cluster.slot_vm(slot.slot_id) == vm.vm_id
+
+    def test_find_unknown_slot_rejected(self, sim):
+        cluster = Cluster(CloudProvider(sim).provision(D1, 1))
+        with pytest.raises(KeyError):
+            cluster.find_slot("ghost:slot0")
+
+    def test_utilization_and_describe(self, sim):
+        provider = CloudProvider(sim)
+        vms = provider.provision(D2, 2)
+        cluster = Cluster(vms)
+        vms[0].slot(0).assign("a#0")
+        assert cluster.utilization == pytest.approx(0.25)
+        assert cluster.describe() == {"D2": 2}
+
+
+class TestNetworkModel:
+    def test_intra_vm_is_faster_than_inter_vm(self):
+        network = NetworkModel(jitter_fraction=0.0)
+        assert network.transfer_latency("vm-1", "vm-1") < network.transfer_latency("vm-1", "vm-2")
+
+    def test_unknown_endpoint_treated_as_remote(self):
+        network = NetworkModel(jitter_fraction=0.0)
+        assert network.transfer_latency(None, "vm-1") == pytest.approx(network.inter_vm_latency_s)
+
+    def test_jitter_stays_within_bounds(self):
+        network = NetworkModel(intra_vm_latency_s=1.0, inter_vm_latency_s=2.0, jitter_fraction=0.1)
+        for _ in range(200):
+            latency = network.transfer_latency("a", "b")
+            assert 1.8 <= latency <= 2.2
+
+    def test_latency_never_negative(self):
+        network = NetworkModel(intra_vm_latency_s=0.0, inter_vm_latency_s=0.0, jitter_fraction=0.5)
+        assert network.transfer_latency("a", "b") >= 0.0

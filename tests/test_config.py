@@ -1,0 +1,74 @@
+"""Tests for runtime configuration objects and strategy configuration factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import ReliabilityConfig, RuntimeConfig, TimingConfig
+
+
+class TestReliabilityConfig:
+    def test_defaults_match_storm(self):
+        config = ReliabilityConfig()
+        assert config.ack_timeout_s == 30.0
+        assert not config.ack_all_events
+        assert config.periodic_checkpoint_interval_s is None
+        assert not config.capture_on_prepare
+        assert config.max_spout_pending is not None
+        assert config.throttled_ticks_generate_backlog
+
+    def test_dsm_factory_enables_acking_and_periodic_checkpoints(self):
+        config = RuntimeConfig.for_dsm()
+        assert config.reliability.ack_all_events
+        assert config.reliability.periodic_checkpoint_interval_s == 30.0
+        assert not config.reliability.capture_on_prepare
+
+    def test_dcr_factory_disables_acking_and_capture(self):
+        config = RuntimeConfig.for_dcr()
+        assert not config.reliability.ack_all_events
+        assert config.reliability.periodic_checkpoint_interval_s is None
+        assert not config.reliability.capture_on_prepare
+
+    def test_ccr_factory_enables_capture(self):
+        config = RuntimeConfig.for_ccr()
+        assert config.reliability.capture_on_prepare
+        assert not config.reliability.ack_all_events
+
+    def test_factories_propagate_seed(self):
+        assert RuntimeConfig.for_dsm(seed=5).seed == 5
+        assert RuntimeConfig.for_dcr(seed=6).seed == 6
+        assert RuntimeConfig.for_ccr(seed=7).seed == 7
+
+
+class TestTimingConfig:
+    def test_defaults_are_calibrated_to_the_paper(self):
+        timing = TimingConfig()
+        assert timing.rebalance_command_mean_s == pytest.approx(7.26)
+        assert timing.statestore_per_byte_latency_s == pytest.approx(5.0e-7)
+        assert timing.quiesce_delay_s > 0
+        assert timing.worker_start_base_s > 0
+
+    def test_statestore_calibration_matches_2000_events_in_100ms(self):
+        timing = TimingConfig()
+        size_bytes = 2000 * 100
+        latency_ms = (timing.statestore_base_latency_s + size_bytes * timing.statestore_per_byte_latency_s) * 1000
+        assert latency_ms == pytest.approx(100.0, rel=0.05)
+
+
+class TestRuntimeConfigCopy:
+    def test_copy_is_deep_for_nested_configs(self):
+        original = RuntimeConfig.for_dsm(seed=3)
+        clone = original.copy()
+        clone.reliability.ack_all_events = False
+        clone.timing.rebalance_command_mean_s = 1.0
+        clone.seed = 99
+        assert original.reliability.ack_all_events
+        assert original.timing.rebalance_command_mean_s == pytest.approx(7.26)
+        assert original.seed == 3
+
+    def test_copy_preserves_values(self):
+        original = RuntimeConfig.for_ccr(seed=11)
+        clone = original.copy()
+        assert clone.seed == 11
+        assert clone.reliability.capture_on_prepare
+        assert clone.util_vm_role == original.util_vm_role

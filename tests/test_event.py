@@ -1,0 +1,87 @@
+"""Unit tests for events and checkpoint control events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.event import CheckpointAction, Event, EventKind, next_event_id, reset_event_ids
+
+
+class TestDataEvents:
+    def test_root_event_is_its_own_root(self):
+        event = Event.data("source", payload={"seq": 1}, created_at=2.0)
+        assert event.is_data
+        assert event.is_root
+        assert event.root_id == event.event_id
+        assert event.root_emitted_at == 2.0
+
+    def test_event_ids_are_unique(self):
+        events = [Event.data("source") for _ in range(100)]
+        assert len({e.event_id for e in events}) == 100
+
+    def test_derive_keeps_root_and_changes_id(self):
+        root = Event.data("source", payload="p", created_at=1.0)
+        child = root.derive("task-a", payload="q", created_at=1.5)
+        assert child.root_id == root.root_id
+        assert child.event_id != root.event_id
+        assert not child.is_root
+        assert child.source_task == "task-a"
+        assert child.root_emitted_at == 1.0
+
+    def test_derive_preserves_replay_count_and_anchoring(self):
+        root = Event.data("source", replay_count=2, anchored=True)
+        child = root.derive("task-a", created_at=3.0)
+        assert child.replay_count == 2
+        assert child.anchored
+        assert child.is_replay
+
+    def test_copy_for_edge_gets_fresh_id_same_root(self):
+        event = Event.data("source")
+        copy = event.copy_for_edge()
+        assert copy.event_id != event.event_id
+        assert copy.root_id == event.root_id
+        assert copy.payload == event.payload
+
+    def test_explicit_root_id_for_replay(self):
+        original = Event.data("source", created_at=1.0)
+        replay = Event.data(
+            "source", root_id=original.root_id, root_emitted_at=31.0, replay_count=1
+        )
+        assert replay.root_id == original.root_id
+        assert replay.event_id != original.event_id
+        assert replay.is_replay
+        assert not replay.is_root
+
+
+class TestCheckpointEvents:
+    def test_checkpoint_event_fields(self):
+        event = Event.checkpoint(CheckpointAction.PREPARE, 7, "checkpoint-source", created_at=5.0)
+        assert event.is_checkpoint
+        assert not event.is_data
+        assert event.checkpoint_action is CheckpointAction.PREPARE
+        assert event.checkpoint_id == 7
+        assert event.anchored
+
+    def test_all_actions_supported(self):
+        for action in CheckpointAction:
+            event = Event.checkpoint(action, 1, "cs")
+            assert event.checkpoint_action is action
+
+    def test_copy_preserves_checkpoint_metadata(self):
+        event = Event.checkpoint(CheckpointAction.INIT, 3, "cs")
+        event.payload = {"forward": False}
+        copy = event.copy_for_edge()
+        assert copy.checkpoint_action is CheckpointAction.INIT
+        assert copy.checkpoint_id == 3
+        assert copy.payload == {"forward": False}
+
+
+class TestIdCounter:
+    def test_next_event_id_monotonic(self):
+        first = next_event_id()
+        second = next_event_id()
+        assert second == first + 1
+
+    def test_reset_event_ids(self):
+        reset_event_ids()
+        assert next_event_id() == 1

@@ -1,0 +1,108 @@
+"""Tests for the per-figure drivers and plain-text formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.topologies import PAPER_ORDER
+from repro.experiments.figures import (
+    PAPER_FIG5,
+    PAPER_FIG6,
+    PAPER_FIG8,
+    PAPER_REBALANCE_DURATION_S,
+    STRATEGY_ORDER,
+    statestore_micro,
+    table1_rows,
+)
+from repro.experiments.formatting import (
+    format_latency_series,
+    format_rate_series,
+    format_table,
+    format_value,
+    sparkline,
+)
+from repro.metrics.timeline import LatencyPoint, RatePoint
+
+
+class TestPaperConstants:
+    def test_fig5_covers_all_cells(self):
+        for scaling in ("in", "out"):
+            for dag in PAPER_ORDER:
+                for strategy in STRATEGY_ORDER:
+                    assert (scaling, dag, strategy) in PAPER_FIG5
+
+    def test_fig6_covers_all_dags(self):
+        for scaling in ("in", "out"):
+            for dag in PAPER_ORDER:
+                assert (scaling, dag) in PAPER_FIG6
+
+    def test_fig8_covers_all_cells(self):
+        for scaling in ("in", "out"):
+            for dag in PAPER_ORDER:
+                for strategy in STRATEGY_ORDER:
+                    assert (scaling, dag, strategy) in PAPER_FIG8
+
+    def test_paper_fig5_restore_ordering_dsm_worst(self):
+        """Sanity-check the transcribed paper values themselves: DSM restore is always worst."""
+        for scaling in ("in", "out"):
+            for dag in PAPER_ORDER:
+                dsm = PAPER_FIG5[(scaling, dag, "dsm")][0]
+                dcr = PAPER_FIG5[(scaling, dag, "dcr")][0]
+                ccr = PAPER_FIG5[(scaling, dag, "ccr")][0]
+                assert dsm > dcr
+                assert dsm > ccr
+
+
+class TestTable1Driver:
+    def test_every_reproduced_column_matches_paper(self):
+        for row in table1_rows():
+            assert row["tasks"] == row["tasks_paper"]
+            assert row["instances"] == row["instances_paper"]
+            assert row["default_vms"] == row["default_vms_paper"]
+            assert row["scale_in_vms"] == row["scale_in_vms_paper"]
+            assert row["scale_out_vms"] == row["scale_out_vms_paper"]
+
+    def test_rows_in_paper_order(self):
+        assert [row["dag"] for row in table1_rows()] == PAPER_ORDER
+
+
+class TestStateStoreMicro:
+    def test_microbenchmark_close_to_paper(self):
+        result = statestore_micro()
+        assert result["events"] == 2000
+        assert result["measured_ms"] == pytest.approx(result["paper_ms"], rel=0.25)
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(1.234) == "1.2"
+        assert format_value("x") == "x"
+        assert format_value(7) == "7"
+
+    def test_format_table_alignment_and_content(self):
+        rows = [{"dag": "grid", "restore_s": 15.5}, {"dag": "linear", "restore_s": None}]
+        text = format_table(rows, title="Fig 5")
+        lines = text.splitlines()
+        assert lines[0] == "Fig 5"
+        assert "dag" in lines[1] and "restore_s" in lines[1]
+        assert "grid" in text and "15.5" in text and "-" in text
+
+    def test_format_table_handles_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_sparkline_length_and_charset(self):
+        line = sparkline([1, 2, 3, 4, 5, 4, 3, 2, 1], width=20)
+        assert 0 < len(line) <= 20
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+    def test_sparkline_downsamples_long_series(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_format_rate_and_latency_series(self):
+        rate_points = [RatePoint(time=float(i), rate=8.0 + i) for i in range(10)]
+        latency_points = [LatencyPoint(time=float(i), latency_s=0.5, samples=80) for i in range(10)]
+        assert "ev/s" in format_rate_series("output", rate_points)
+        assert "ms" in format_latency_series("dsm", latency_points)
+        assert "(no data)" in format_rate_series("empty", [])

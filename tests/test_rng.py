@@ -1,0 +1,52 @@
+"""Unit tests for the named random-stream source."""
+
+from __future__ import annotations
+
+from repro.sim import RandomSource
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.uniform("x", 0, 1) for _ in range(5)] == [b.uniform("x", 0, 1) for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.uniform("x", 0, 1) for _ in range(5)] != [b.uniform("x", 0, 1) for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        """Drawing from one stream must not perturb another."""
+        a = RandomSource(42)
+        b = RandomSource(42)
+        expected = [b.uniform("target", 0, 1) for _ in range(5)]
+        for _ in range(100):
+            a.uniform("other", 0, 1)
+        observed = [a.uniform("target", 0, 1) for _ in range(5)]
+        assert observed == expected
+
+    def test_stream_is_cached(self):
+        rng = RandomSource(3)
+        assert rng.stream("s") is rng.stream("s")
+
+    def test_gauss_with_zero_sigma_returns_mu(self):
+        assert RandomSource(1).gauss("g", 5.0, 0.0) == 5.0
+
+    def test_randint_within_bounds(self):
+        rng = RandomSource(9)
+        values = [rng.randint("i", 3, 7) for _ in range(100)]
+        assert all(3 <= v <= 7 for v in values)
+        assert len(set(values)) > 1
+
+    def test_expovariate_positive(self):
+        rng = RandomSource(11)
+        assert all(rng.expovariate("e", 2.0) > 0 for _ in range(50))
+
+    def test_fork_is_deterministic_and_distinct(self):
+        parent = RandomSource(5)
+        child1 = parent.fork("worker")
+        child2 = RandomSource(5).fork("worker")
+        other = parent.fork("other")
+        assert child1.uniform("x", 0, 1) == child2.uniform("x", 0, 1)
+        assert child1.master_seed != other.master_seed

@@ -1,0 +1,108 @@
+"""Unit tests for event routing: groupings, FIFO channels and anchoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow.builder import TopologyBuilder
+from repro.dataflow.event import Event
+from repro.dataflow.grouping import Grouping
+
+from tests.conftest import make_runtime
+
+
+def grouping_dataflow(grouping: Grouping):
+    builder = TopologyBuilder(f"grouping-{grouping.value}")
+    builder.add_source("source", rate=20.0)
+    builder.add_task("up", parallelism=1, latency_s=0.01)
+    builder.add_task("down", parallelism=3, latency_s=0.01)
+    builder.add_sink("sink")
+    builder.connect("source", "up")
+    builder.connect("up", "down", grouping=grouping)
+    builder.connect("down", "sink")
+    return builder.build()
+
+
+def run_with_grouping(grouping: Grouping, until: float = 5.0):
+    runtime = make_runtime(dataflow=grouping_dataflow(grouping), worker_vms=4)
+    runtime.start()
+    runtime.sim.run(until=until)
+    return runtime
+
+
+class TestGroupings:
+    def test_shuffle_balances_across_instances(self):
+        runtime = run_with_grouping(Grouping.SHUFFLE)
+        counts = [runtime.executor(f"down#{i}").processed_count for i in range(3)]
+        assert all(c > 0 for c in counts)
+        assert max(counts) - min(counts) <= 1
+
+    def test_all_grouping_duplicates_to_every_instance(self):
+        runtime = run_with_grouping(Grouping.ALL)
+        up_count = runtime.executor("up#0").processed_count
+        counts = [runtime.executor(f"down#{i}").processed_count for i in range(3)]
+        # Every instance sees (almost) every event emitted by the upstream task.
+        for count in counts:
+            assert count >= up_count - 3
+
+    def test_global_grouping_uses_first_instance_only(self):
+        runtime = run_with_grouping(Grouping.GLOBAL)
+        assert runtime.executor("down#0").processed_count > 0
+        assert runtime.executor("down#1").processed_count == 0
+        assert runtime.executor("down#2").processed_count == 0
+
+    def test_fields_grouping_is_deterministic_per_key(self):
+        runtime = make_runtime(dataflow=grouping_dataflow(Grouping.FIELDS), worker_vms=4)
+        router = runtime.router
+        dataflow = runtime.dataflow
+        edge = [e for e in dataflow.edges if e.grouping is Grouping.FIELDS][0]
+        event = Event.data("up", payload={"key": "vehicle-17"})
+        first = router._select_targets("up#0", edge, event)
+        second = router._select_targets("up#0", edge, event.copy_for_edge())
+        assert first == second
+
+
+class TestDeliverySemantics:
+    def test_per_channel_fifo_ordering(self):
+        """Deliveries on the same (sender, receiver) channel never reorder."""
+        runtime = make_runtime()
+        runtime.start()
+        delivered = []
+        original_deliver = runtime.deliver
+
+        def spy(executor_id, event, sender_id):
+            if sender_id == "a#0" and event.is_data:
+                delivered.append((executor_id, event.payload.get("seq")))
+            original_deliver(executor_id, event, sender_id)
+
+        runtime.deliver = spy
+        runtime.router.runtime = runtime
+        runtime.sim.run(until=5.0)
+        for target in ("b#0", "b#1"):
+            sequence = [seq for executor_id, seq in delivered if executor_id == target]
+            assert sequence == sorted(sequence)
+
+    def test_anchoring_only_when_acking_enabled(self):
+        dcr_runtime = make_runtime(strategy="dcr")
+        dcr_runtime.start()
+        dcr_runtime.sim.run(until=2.0)
+        assert dcr_runtime.acker.stats.anchors == 0
+
+        dsm_runtime = make_runtime(strategy="dsm")
+        dsm_runtime.start()
+        dsm_runtime.sim.run(until=2.0)
+        assert dsm_runtime.acker.stats.anchors > 0
+
+    def test_routed_count_increases(self):
+        runtime = make_runtime()
+        runtime.start()
+        runtime.sim.run(until=2.0)
+        assert runtime.router.routed_count > 0
+
+    def test_send_direct_reaches_specific_executor(self):
+        runtime = make_runtime()
+        runtime.start()
+        event = Event.data("source", payload={"direct": True}, created_at=runtime.sim.now)
+        runtime.router.send_direct("source#0", "c#0", event)
+        runtime.sim.run(until=1.0)
+        assert runtime.executor("c#0").processed_count >= 1

@@ -1,0 +1,215 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import PeriodicTimer, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_clock_starts_at_custom_time(self):
+        assert Simulator(start_time=12.5).now == 12.5
+
+    def test_infinite_start_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(start_time=float("inf"))
+
+    def test_events_execute_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(3.0, fired.append, "last")
+        sim.run()
+        assert fired == ["early", "late", "last"]
+
+    def test_ties_execute_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(4.25, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(4.25)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_non_callable_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, "not-callable")
+
+    def test_kwargs_passed_to_callback(self):
+        sim = Simulator()
+        seen = {}
+        sim.schedule(1.0, lambda **kw: seen.update(kw), a=1, b="x")
+        sim.run()
+        assert seen == {"a": 1, "b": "x"}
+
+    def test_callback_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 5:
+                sim.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(1.0, chain, 1)
+        sim.run()
+        assert fired == [1, 2, 3, 4, 5]
+        assert sim.now == pytest.approx(5.0)
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == pytest.approx(5.0)
+        assert sim.pending_events == 1
+
+    def test_run_until_then_continue(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == ["a", "b"]
+
+    def test_advance_runs_relative_duration(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(3.0, fired.append, 3)
+        sim.advance(2.0)
+        assert fired == [1]
+        assert sim.now == pytest.approx(2.0)
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().advance(-1.0)
+
+    def test_max_events_limits_execution(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, lambda: sim.stop())
+        sim.schedule(3.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 4
+
+
+class TestTimerCancellation:
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, fired.append, "x")
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        timer = sim.schedule(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        sim.run()
+        assert not timer.fired
+
+    def test_active_reflects_lifecycle(self):
+        sim = Simulator()
+        timer = sim.schedule(1.0, lambda: None)
+        assert timer.active
+        sim.run()
+        assert not timer.active
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        sim.every(1.0, lambda: fired.append(sim.now))
+        sim.run(until=5.5)
+        assert fired == pytest.approx([1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_custom_start_delay(self):
+        sim = Simulator()
+        fired = []
+        sim.every(2.0, lambda: fired.append(sim.now), start_delay=0.5)
+        sim.run(until=5.0)
+        assert fired == pytest.approx([0.5, 2.5, 4.5])
+
+    def test_cancel_stops_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.every(1.0, lambda: fired.append(sim.now))
+        sim.schedule(2.5, timer.cancel)
+        sim.run(until=10.0)
+        assert fired == pytest.approx([1.0, 2.0])
+        assert not timer.active
+
+    def test_fire_count_tracked(self):
+        sim = Simulator()
+        timer = sim.every(1.0, lambda: None)
+        sim.run(until=3.5)
+        assert timer.fire_count == 3
+
+    def test_zero_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_callback_cancelling_itself(self):
+        sim = Simulator()
+        fired = []
+        holder = {}
+
+        def once():
+            fired.append(sim.now)
+            holder["timer"].cancel()
+
+        holder["timer"] = sim.every(1.0, once)
+        sim.run(until=10.0)
+        assert fired == pytest.approx([1.0])

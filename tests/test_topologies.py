@@ -1,0 +1,112 @@
+"""Unit tests for the paper's five evaluation dataflows (Fig. 4 / Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow import topologies
+from repro.dataflow.topologies import PAPER_ORDER, TABLE1
+
+
+class TestTable1Fidelity:
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_user_task_count_matches_table1(self, name):
+        dataflow = topologies.by_name(name)
+        assert len(dataflow.user_tasks) == TABLE1[name].tasks
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_instance_count_matches_table1(self, name):
+        dataflow = topologies.by_name(name)
+        assert dataflow.total_instances() == TABLE1[name].task_instances
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_single_source_and_sink(self, name):
+        dataflow = topologies.by_name(name)
+        assert len(dataflow.sources) == 1
+        assert len(dataflow.sinks) == 1
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_source_rate_is_8_events_per_second(self, name):
+        dataflow = topologies.by_name(name)
+        assert dataflow.sources[0].rate == pytest.approx(8.0)
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_task_latency_is_100ms(self, name):
+        dataflow = topologies.by_name(name)
+        for task in dataflow.user_tasks:
+            assert task.latency_s == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_all_tasks_are_one_to_one_selectivity(self, name):
+        dataflow = topologies.by_name(name)
+        for task in dataflow.user_tasks:
+            assert task.selectivity == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_at_least_one_stateful_task(self, name):
+        dataflow = topologies.by_name(name)
+        assert any(task.stateful for task in dataflow.user_tasks)
+
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_per_instance_load_within_peak_rate(self, name):
+        """Each instance must see at most the 10 ev/s peak rate (100 ms tasks)."""
+        dataflow = topologies.by_name(name)
+        rates = dataflow.input_rates()
+        for task in dataflow.user_tasks:
+            assert rates[task.name] / task.parallelism <= 10.0 + 1e-9
+
+
+class TestStructures:
+    def test_linear_is_a_chain(self):
+        dataflow = topologies.linear()
+        for task in dataflow.user_tasks:
+            assert len(dataflow.successors(task.name)) == 1
+            assert len(dataflow.predecessors(task.name)) == 1
+        assert dataflow.critical_path_length() == 5
+
+    def test_parametric_linear_length(self):
+        dataflow = topologies.linear(50)
+        assert len(dataflow.user_tasks) == 50
+        assert dataflow.total_instances() == 50
+        assert dataflow.critical_path_length() == 50
+
+    def test_linear_rejects_zero_tasks(self):
+        with pytest.raises(ValueError):
+            topologies.linear(0)
+
+    def test_diamond_has_fan_out_and_fan_in(self):
+        dataflow = topologies.diamond()
+        assert set(dataflow.successors("split")) == {"branch_a", "branch_b"}
+        assert set(dataflow.predecessors("merge")) == {"branch_a", "branch_b"}
+
+    def test_star_hub_connects_spokes(self):
+        dataflow = topologies.star()
+        assert set(dataflow.predecessors("hub")) == {"spoke_in_a", "spoke_in_b"}
+        assert set(dataflow.successors("hub")) == {"spoke_out_a", "spoke_out_b"}
+
+    def test_grid_output_rate_is_4x_input(self):
+        """The paper reports a 1:4 DAG selectivity for Grid (8 ev/s in, 32 ev/s out)."""
+        dataflow = topologies.grid()
+        assert dataflow.output_rate() == pytest.approx(32.0)
+
+    def test_traffic_output_rate_is_4x_input(self):
+        dataflow = topologies.traffic()
+        assert dataflow.output_rate() == pytest.approx(32.0)
+
+    def test_star_output_rate(self):
+        assert topologies.star().output_rate() == pytest.approx(32.0)
+
+    def test_application_dags_are_deeper_than_micro_dags(self):
+        assert topologies.grid().critical_path_length() > topologies.star().critical_path_length()
+        assert topologies.traffic().critical_path_length() >= topologies.star().critical_path_length()
+
+    def test_by_name_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            topologies.by_name("nonexistent")
+
+    def test_factories_produce_fresh_objects(self):
+        a = topologies.grid()
+        b = topologies.grid()
+        assert a is not b
+        a.task("parse").parallelism = 99
+        assert b.task("parse").parallelism == 1

@@ -1,0 +1,104 @@
+"""Unit tests for VM types, slots and virtual machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.vm import D1, D2, D3, Slot, VirtualMachine, VMType, VM_TYPES
+
+
+class TestVMType:
+    def test_paper_flavours_registered(self):
+        assert set(VM_TYPES) == {"D1", "D2", "D3"}
+
+    def test_paper_flavours_slot_counts(self):
+        assert D1.slots == 1
+        assert D2.slots == 2
+        assert D3.slots == 4
+
+    def test_slots_equal_cores_for_paper_flavours(self):
+        for vm_type in (D1, D2, D3):
+            assert vm_type.slots == vm_type.cores
+
+    def test_memory_scales_with_cores(self):
+        assert D2.memory_gb == pytest.approx(2 * D1.memory_gb)
+        assert D3.memory_gb == pytest.approx(4 * D1.memory_gb)
+
+    def test_cost_scales_with_cores(self):
+        assert D3.hourly_cost > D2.hourly_cost > D1.hourly_cost
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            VMType(name="bad", cores=0, memory_gb=1.0, slots=1, hourly_cost=0.1)
+
+    def test_more_slots_than_cores_rejected(self):
+        with pytest.raises(ValueError):
+            VMType(name="bad", cores=2, memory_gb=1.0, slots=3, hourly_cost=0.1)
+
+
+class TestSlot:
+    def test_assign_and_release(self):
+        slot = Slot(slot_id="vm:slot0", vm_id="vm", index=0)
+        assert not slot.occupied
+        slot.assign("task#0")
+        assert slot.occupied
+        assert slot.executor_id == "task#0"
+        released = slot.release()
+        assert released == "task#0"
+        assert not slot.occupied
+
+    def test_double_assign_same_executor_is_ok(self):
+        slot = Slot(slot_id="vm:slot0", vm_id="vm", index=0)
+        slot.assign("task#0")
+        slot.assign("task#0")
+        assert slot.executor_id == "task#0"
+
+    def test_double_assign_different_executor_rejected(self):
+        slot = Slot(slot_id="vm:slot0", vm_id="vm", index=0)
+        slot.assign("task#0")
+        with pytest.raises(ValueError):
+            slot.assign("task#1")
+
+    def test_release_empty_slot_returns_none(self):
+        slot = Slot(slot_id="vm:slot0", vm_id="vm", index=0)
+        assert slot.release() is None
+
+
+class TestVirtualMachine:
+    def test_slots_created_per_type(self):
+        vm = VirtualMachine("vm-1", D3)
+        assert len(vm.slots) == 4
+        assert [s.index for s in vm.slots] == [0, 1, 2, 3]
+        assert all(s.vm_id == "vm-1" for s in vm.slots)
+
+    def test_slot_ids_are_unique(self):
+        vm = VirtualMachine("vm-1", D3)
+        assert len({s.slot_id for s in vm.slots}) == 4
+
+    def test_utilization(self):
+        vm = VirtualMachine("vm-1", D2)
+        assert vm.utilization == 0.0
+        vm.slot(0).assign("a#0")
+        assert vm.utilization == pytest.approx(0.5)
+        vm.slot(1).assign("b#0")
+        assert vm.utilization == pytest.approx(1.0)
+
+    def test_free_and_occupied_slots(self):
+        vm = VirtualMachine("vm-1", D2)
+        vm.slot(0).assign("a#0")
+        assert [s.index for s in vm.free_slots] == [1]
+        assert [s.index for s in vm.occupied_slots] == [0]
+
+    def test_find_slot(self):
+        vm = VirtualMachine("vm-1", D2)
+        slot = vm.find_slot("vm-1:slot1")
+        assert slot is not None and slot.index == 1
+        assert vm.find_slot("vm-1:slot9") is None
+
+    def test_active_reflects_provisioning(self):
+        vm = VirtualMachine("vm-1", D1)
+        assert not vm.active
+        vm.provisioned_at = 0.0
+        assert vm.active
+        vm.deprovisioned_at = 10.0
+        assert not vm.active
