@@ -4,15 +4,18 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 
     python -m repro describe grid
     python -m repro experiment --dag grid --strategy ccr --scaling in
+    python -m repro elastic --dag traffic --strategy ccr --profile surge
     python -m repro figure table1
     python -m repro figure fig5 --scaling out
     python -m repro figure drain
     python -m repro figure statestore
 
 ``experiment`` runs a single migration experiment and prints the §4 metrics;
-``figure`` regenerates one of the paper's tables/figures (the same drivers the
-benchmark harness uses) and prints the reproduced rows next to the paper's
-published values.
+``elastic`` runs a closed-loop autoscaling experiment (profile-driven sources,
+monitor, planner and controller) and prints the scaling timeline plus the
+cloud bill; ``figure`` regenerates one of the paper's tables/figures (the
+same drivers the benchmark harness uses) and prints the reproduced rows next
+to the paper's published values.
 """
 
 from __future__ import annotations
@@ -22,7 +25,8 @@ import sys
 from typing import List, Optional
 
 from repro.dataflow import topologies
-from repro.experiments import run_migration_experiment
+from repro.elastic import ControllerConfig
+from repro.experiments import run_elastic_experiment, run_migration_experiment
 from repro.experiments.figures import (
     ExperimentMatrix,
     drain_time_rows,
@@ -40,6 +44,7 @@ from repro.experiments.formatting import (
     format_rate_series,
     format_table,
 )
+from repro.workloads.profiles import PROFILE_PRESETS
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -69,6 +74,85 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(f"  {field:32s} {value - report.requested_at:8.2f}")
     print()
     print(format_table([result.log.summary()], title="Run summary"))
+    return 0
+
+
+def _cmd_elastic(args: argparse.Namespace) -> int:
+    if args.duration <= 0:
+        print("repro elastic: error: --duration must be positive", file=sys.stderr)
+        return 2
+    try:
+        controller_config = ControllerConfig(
+            check_interval_s=args.check_interval,
+            confirm_samples=args.confirm_samples,
+            cooldown_s=args.cooldown,
+        )
+    except ValueError as exc:
+        print(f"repro elastic: error: {exc}", file=sys.stderr)
+        return 2
+    result = run_elastic_experiment(
+        dag=args.dag,
+        strategy=args.strategy,
+        profile=args.profile,
+        duration_s=args.duration,
+        seed=args.seed,
+        controller_config=controller_config,
+    )
+
+    print(f"Elastic run: {args.dag} / {args.strategy} / profile={args.profile} "
+          f"({args.duration:.0f}s simulated)")
+    print()
+    if result.actions:
+        rows = []
+        for action in result.actions:
+            report = action.report
+            rows.append({
+                "decided_at_s": round(action.decided_at, 1),
+                "direction": f"scale-{action.direction}",
+                "tier": f"{action.from_tier}->{action.to_tier}",
+                "observed_ev_s": round(action.observed_rate, 1),
+                "allocation": " ".join(
+                    f"{c}x{n}" for n, c in sorted(action.target.vm_counts.items())
+                ),
+                "protocol_s": (
+                    round(report.protocol_duration_s, 1)
+                    if report is not None and report.protocol_duration_s is not None
+                    else "-"
+                ),
+                "vms_released": len(action.deprovisioned_vm_ids),
+            })
+        print(format_table(rows, title="Scaling actions"))
+        if result.controller.migration_in_flight:
+            print("(last migration still in flight when the run ended -- an "
+                  "overloaded dataflow drains/captures slowly; see the queue column)")
+    else:
+        print("Scaling actions: none (rate never left the current tier's band)")
+    print()
+
+    sample_rows = []
+    stride = max(1, len(result.samples) // 12)
+    for sample in result.samples[::stride]:
+        sample_rows.append({
+            "t_s": round(sample.time, 1),
+            "in_ev_s": round(sample.input_rate, 1),
+            "out_ev_s": round(sample.output_rate, 1),
+            "latency_ms": (
+                round(sample.avg_latency_s * 1000, 1)
+                if sample.avg_latency_s is not None else "-"
+            ),
+            "queued": sample.queue_backlog,
+            "backlog": sample.source_backlog,
+        })
+    if sample_rows:
+        print(format_table(sample_rows, title="Monitor timeline (subsampled)"))
+        print()
+
+    print("Billing (relative pay-as-you-go units, per-minute granularity)")
+    for record in result.provider.billing_records:
+        status = "released" if record.deprovisioned_at is not None else "running"
+        print(f"  {record.vm_id:12s} {record.vm_type:3s} {status:9s} "
+              f"cost {record.cost(result.runtime.sim.now):8.4f}")
+    print(f"  total: {result.total_cost:.4f}")
     return 0
 
 
@@ -137,6 +221,21 @@ def build_parser() -> argparse.ArgumentParser:
                             help="post-migration observation window (seconds)")
     experiment.add_argument("--seed", type=int, default=2018)
     experiment.set_defaults(func=_cmd_experiment)
+
+    elastic = sub.add_parser("elastic", help="run a closed-loop autoscaling experiment")
+    elastic.add_argument("--dag", default="traffic", choices=sorted(topologies.PAPER_TOPOLOGIES))
+    elastic.add_argument("--strategy", default="ccr", choices=("dsm", "dcr", "ccr"))
+    elastic.add_argument("--profile", default="surge", choices=sorted(PROFILE_PRESETS))
+    elastic.add_argument("--duration", type=float, default=900.0,
+                         help="total simulated run time (seconds)")
+    elastic.add_argument("--check-interval", type=float, default=15.0, dest="check_interval",
+                         help="controller sampling/decision interval (seconds)")
+    elastic.add_argument("--confirm-samples", type=int, default=2, dest="confirm_samples",
+                         help="consecutive agreeing samples required before scaling (hysteresis)")
+    elastic.add_argument("--cooldown", type=float, default=60.0,
+                         help="quiet period after a migration before the next one (seconds)")
+    elastic.add_argument("--seed", type=int, default=2018)
+    elastic.set_defaults(func=_cmd_elastic)
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's tables/figures")
     figure.add_argument("name", choices=("table1", "fig5", "fig6", "fig7", "fig8", "fig9",

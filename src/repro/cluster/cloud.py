@@ -209,16 +209,33 @@ class CloudProvider:
         return vms
 
     def deprovision(self, vm: VirtualMachine) -> None:
-        """Release a VM; billing stops at the current simulated time."""
+        """Release a VM; billing is finalized at the current simulated time.
+
+        Raises if the VM still hosts executors or was already deprovisioned
+        (double releases would silently corrupt the billing records).
+        """
         if vm.occupied_slots:
             raise ValueError(
                 f"cannot deprovision VM {vm.vm_id}: slots still occupied by "
                 f"{[s.executor_id for s in vm.occupied_slots]}"
             )
+        if vm.deprovisioned_at is not None:
+            raise ValueError(f"VM {vm.vm_id} is already deprovisioned")
         vm.deprovisioned_at = self.sim.now
         record = self._billing.get(vm.vm_id)
         if record is not None:
             record.deprovisioned_at = self.sim.now
+
+    def release_from(self, cluster: Cluster, vm_id: str) -> VirtualMachine:
+        """Deprovision a VM *and* remove it from the cluster (scale-in path).
+
+        This is the one-call variant elastic controllers use: the VM stops
+        accruing cost and is no longer eligible for future placements.
+        """
+        vm = cluster.vm(vm_id)
+        self.deprovision(vm)
+        cluster.remove_vm(vm_id)
+        return vm
 
     @property
     def billing_records(self) -> List[BillingRecord]:

@@ -34,9 +34,16 @@ class TopologyBuilder:
         rate: float = 8.0,
         parallelism: int = 1,
         payload_factory: Optional[Callable[[int], Any]] = None,
+        profile: Optional[Any] = None,
     ) -> "TopologyBuilder":
-        """Declare a source task emitting ``rate`` events/second."""
-        self._add(SourceTask(name=name, rate=rate, parallelism=parallelism, payload_factory=payload_factory))
+        """Declare a source task emitting ``rate`` events/second.
+
+        ``profile`` optionally attaches a
+        :class:`~repro.workloads.profiles.RateProfile`; the emission rate then
+        follows the profile over simulated time instead of staying fixed.
+        """
+        self._add(SourceTask(name=name, rate=rate, parallelism=parallelism,
+                             payload_factory=payload_factory, profile=profile))
         return self
 
     def add_task(

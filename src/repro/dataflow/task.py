@@ -16,7 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (workloads -> dataflow)
+    from repro.workloads.profiles import RateProfile
 
 
 class TaskKind(Enum):
@@ -131,12 +134,20 @@ class SourceTask(Task):
     ----------
     rate:
         Events emitted per second while the source is unpaused (8 ev/s in the
-        paper's experiments).
+        paper's experiments).  When a ``profile`` is set this is only the
+        baseline used for capacity planning; the instantaneous rate follows
+        the profile.
+    profile:
+        Optional :class:`~repro.workloads.profiles.RateProfile`.  When set,
+        the source's emission rate follows ``profile.rate_at(sim.now)`` over
+        simulated time instead of staying fixed at ``rate`` -- the input-rate
+        dynamism that motivates elastic migration in the first place.
     payload_factory:
         Optional callable ``(sequence_number) -> payload``.
     """
 
     rate: float = 8.0
+    profile: Optional["RateProfile"] = None
     payload_factory: Optional[Callable[[int], Any]] = None
 
     def __post_init__(self) -> None:

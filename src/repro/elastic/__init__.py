@@ -1,0 +1,42 @@
+"""Closed-loop elasticity: monitor, allocation planner and autoscaling controller.
+
+The paper motivates DSM/DCR/CCR with input-rate dynamism -- latency-sensitive
+dataflows that must scale in or out as traffic changes -- but scopes the
+*decision* of when and where to scale out of the migration problem.  This
+package supplies that missing loop for the reproduction:
+
+* :class:`~repro.elastic.monitor.ElasticityMonitor` samples the observed
+  source rate, executor queue backlogs and sink latency from the event log;
+* :class:`~repro.elastic.planner.AllocationPlanner` applies the paper's
+  one-instance-per-8-ev/s rule and Table-1 style D1/D2/D3 packing to pick a
+  target allocation tier for the observed rate;
+* :class:`~repro.elastic.controller.ElasticityController` debounces the
+  signal (hysteresis + cooldown), provisions the target VMs, computes the new
+  placement with the existing scheduler, enacts it with any registered
+  :class:`~repro.core.strategy.MigrationStrategy`, and deprovisions the
+  vacated VMs so scale-in actually reduces the bill.
+
+:func:`repro.experiments.elastic.run_elastic_experiment` assembles the whole
+loop for one run; the ``repro elastic`` CLI subcommand drives it.
+"""
+
+from repro.elastic.controller import ControllerConfig, ElasticityController, ScalingAction
+from repro.elastic.monitor import ElasticityMonitor, MonitorSample
+from repro.elastic.planner import (
+    TIER_ORDER,
+    AllocationPlanner,
+    TargetAllocation,
+    plan_user_tasks_on,
+)
+
+__all__ = [
+    "AllocationPlanner",
+    "ControllerConfig",
+    "ElasticityController",
+    "ElasticityMonitor",
+    "MonitorSample",
+    "ScalingAction",
+    "TargetAllocation",
+    "TIER_ORDER",
+    "plan_user_tasks_on",
+]

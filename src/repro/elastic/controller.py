@@ -1,0 +1,227 @@
+"""The autoscaling controller: closes the loop from monitor to migration.
+
+Every check interval the controller takes a monitor sample, asks the
+planner which allocation tier the observed input rate calls for, and --
+after the configured hysteresis has confirmed the signal and any cooldown
+has expired -- enacts the change:
+
+1. **provision** the target VMs through the :class:`CloudProvider` (billing
+   starts immediately; the migration waits for the modelled provisioning
+   latency, as the paper's experiments provision target VMs before issuing
+   the migration request);
+2. **plan** the new placement with the runtime's existing scheduler (user
+   tasks onto the new VMs only; sources/sinks stay pinned);
+3. **migrate** with the configured, pluggable
+   :class:`~repro.core.strategy.MigrationStrategy` (DSM, DCR or CCR);
+4. **deprovision** the vacated worker VMs once the protocol completes, so
+   scale-in actually reduces the bill.
+
+Hysteresis (``confirm_samples`` consecutive agreeing samples) filters
+short-lived spikes such as :class:`~repro.workloads.profiles.BurstProfile`
+bursts; the cooldown keeps the post-migration backlog drain (whose burst
+briefly looks like a surge) from immediately re-triggering a scale-out.
+Samples taken while the sources are paused (mid-protocol) are ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Type
+
+from repro.cluster.cloud import CloudProvider
+from repro.cluster.vm import VM_TYPES
+from repro.core.strategy import MigrationReport, MigrationStrategy
+from repro.elastic.monitor import ElasticityMonitor, MonitorSample
+from repro.elastic.planner import (
+    TIER_ORDER,
+    AllocationPlanner,
+    TargetAllocation,
+    plan_user_tasks_on,
+)
+from repro.engine.runtime import TopologyRuntime
+
+
+@dataclass
+class ControllerConfig:
+    """Tuning knobs of the elastic control loop."""
+
+    #: Interval between control ticks (each tick takes one monitor sample).
+    check_interval_s: float = 15.0
+    #: Consecutive samples that must agree on a different tier before acting.
+    confirm_samples: int = 2
+    #: Quiet period after a completed migration before the next one may start.
+    cooldown_s: float = 60.0
+    #: Whether to wait the provider's provisioning latency between provisioning
+    #: the target VMs and issuing the migration (the paper plans ahead, so the
+    #: VMs are ready when the migration request is issued).
+    wait_for_provisioning: bool = True
+
+    def __post_init__(self) -> None:
+        if self.check_interval_s <= 0:
+            raise ValueError("check_interval_s must be positive")
+        if self.confirm_samples < 1:
+            raise ValueError("confirm_samples must be at least 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+
+
+@dataclass
+class ScalingAction:
+    """Bookkeeping for one enacted scaling decision."""
+
+    #: ``out`` (toward more, smaller VMs) or ``in`` (toward fewer, bigger VMs).
+    direction: str
+    #: The tier the controller moved from / to.
+    from_tier: str
+    to_tier: str
+    #: Simulated time of the decision (after hysteresis confirmed it).
+    decided_at: float
+    #: Observed input rate that triggered the decision.
+    observed_rate: float
+    #: The planner's allocation behind the decision.
+    target: TargetAllocation
+    provisioned_vm_ids: List[str] = field(default_factory=list)
+    deprovisioned_vm_ids: List[str] = field(default_factory=list)
+    #: When the migration request was issued (after provisioning).
+    enacted_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    #: The strategy's migration report, filled in as the protocol runs.
+    report: Optional[MigrationReport] = None
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the migration protocol for this action has finished."""
+        return self.completed_at is not None
+
+
+class ElasticityController:
+    """Watches the monitor and migrates the dataflow between VM allocations."""
+
+    def __init__(
+        self,
+        runtime: TopologyRuntime,
+        provider: CloudProvider,
+        monitor: ElasticityMonitor,
+        planner: AllocationPlanner,
+        strategy_cls: Type[MigrationStrategy],
+        config: Optional[ControllerConfig] = None,
+        initial_tier: str = "baseline",
+    ) -> None:
+        if initial_tier not in TIER_ORDER:
+            raise ValueError(f"unknown tier {initial_tier!r}; choose from {sorted(TIER_ORDER)}")
+        self.runtime = runtime
+        self.provider = provider
+        self.monitor = monitor
+        self.planner = planner
+        self.strategy_cls = strategy_cls
+        self.config = config if config is not None else ControllerConfig()
+        self.tier = initial_tier
+        self.actions: List[ScalingAction] = []
+        self._timer = None
+        self._pending_tier: Optional[str] = None
+        self._pending_count = 0
+        self._migration_in_flight = False
+        self._cooldown_until = float("-inf")
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the periodic control loop."""
+        if self._timer is None:
+            self._timer = self.runtime.sim.every(self.config.check_interval_s, self._tick)
+
+    def stop(self) -> None:
+        """Stop the control loop (a migration already in flight still completes)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def migration_in_flight(self) -> bool:
+        """Whether a scaling migration is currently being enacted."""
+        return self._migration_in_flight
+
+    @property
+    def last_action(self) -> Optional[ScalingAction]:
+        """The most recent scaling action, if any."""
+        return self.actions[-1] if self.actions else None
+
+    # ------------------------------------------------------------ control loop
+    def _tick(self) -> None:
+        sample = self.monitor.sample_now()
+        if self._migration_in_flight or sample.sources_paused:
+            return
+
+        target = self.planner.plan(sample.input_rate)
+        if target.tier == self.tier:
+            self._pending_tier = None
+            self._pending_count = 0
+            return
+
+        if target.tier != self._pending_tier:
+            self._pending_tier = target.tier
+            self._pending_count = 1
+        else:
+            self._pending_count += 1
+        if self._pending_count < self.config.confirm_samples:
+            return
+        if self.runtime.sim.now < self._cooldown_until:
+            return
+        self._enact(target, sample)
+
+    # -------------------------------------------------------------- enactment
+    def _enact(self, target: TargetAllocation, sample: MonitorSample) -> None:
+        direction = "out" if TIER_ORDER[target.tier] > TIER_ORDER[self.tier] else "in"
+        action = ScalingAction(
+            direction=direction,
+            from_tier=self.tier,
+            to_tier=target.tier,
+            decided_at=self.runtime.sim.now,
+            observed_rate=sample.input_rate,
+            target=target,
+        )
+        # Billing for the new fleet starts now; the migration request waits
+        # for the VMs to come up.
+        for type_name, count in sorted(target.vm_counts.items()):
+            vm_type = VM_TYPES[type_name]
+            for vm in self.provider.provision(vm_type, count, name_prefix=type_name.lower()):
+                self.runtime.cluster.add_vm(vm)
+                action.provisioned_vm_ids.append(vm.vm_id)
+        self.actions.append(action)
+        self._migration_in_flight = True
+        self._pending_tier = None
+        self._pending_count = 0
+        delay = self.provider.provisioning_latency_s if self.config.wait_for_provisioning else 0.0
+        self.runtime.sim.schedule(delay, self._start_migration, action)
+
+    def _start_migration(self, action: ScalingAction) -> None:
+        # Worker VMs in use before the migration; vacated ones are released
+        # once the protocol completes.  The util VM never migrates.
+        old_vm_ids = [
+            vm_id
+            for vm_id in self.runtime.placement.vms_used
+            if vm_id != self.runtime.util_vm_id and vm_id not in set(action.provisioned_vm_ids)
+        ]
+        new_plan = plan_user_tasks_on(self.runtime, action.provisioned_vm_ids)
+        strategy = self.strategy_cls(self.runtime)
+        action.enacted_at = self.runtime.sim.now
+        action.report = strategy.migrate(
+            new_plan,
+            on_complete=lambda report: self._migration_complete(action, old_vm_ids, report),
+        )
+
+    def _migration_complete(
+        self, action: ScalingAction, old_vm_ids: List[str], report: MigrationReport
+    ) -> None:
+        action.report = report
+        action.completed_at = self.runtime.sim.now
+        for vm_id in old_vm_ids:
+            if vm_id not in self.runtime.cluster:
+                continue
+            vm = self.runtime.cluster.vm(vm_id)
+            if vm.occupied_slots:
+                continue  # defensive: something still lives there, keep paying
+            self.provider.release_from(self.runtime.cluster, vm_id)
+            action.deprovisioned_vm_ids.append(vm_id)
+        self.tier = action.to_tier
+        self._migration_in_flight = False
+        self._cooldown_until = self.runtime.sim.now + self.config.cooldown_s

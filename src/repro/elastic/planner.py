@@ -1,0 +1,147 @@
+"""Allocation planning: from an observed input rate to a target VM fleet.
+
+The paper sizes dataflows with a simple rule -- **one task instance per
+incremental 8 events/second of input rate** (Table 1) -- and packs the
+resulting slots onto Azure D-series VMs: D2s for the default deployment,
+D3s when consolidating (scale-in), one-slot D1s when expanding (scale-out,
+so per-minute billing tracks the load closely and single-VM failures hurt
+less).  The planner applies the same arithmetic to a *measured* rate:
+
+* :meth:`AllocationPlanner.required_instances` re-derives every user task's
+  input rate at the observed source rate and applies the 1-per-8 ev/s rule;
+* :meth:`AllocationPlanner.plan` compares that requirement against the
+  instances actually deployed (the *pressure*) and picks an allocation tier
+  -- ``expanded`` / ``baseline`` / ``consolidated`` -- with Table-1 style VM
+  packing for the slots that must be hosted.
+
+The plan deliberately keeps the executor count fixed (the paper scopes
+parallelism changes out of the migration problem); elasticity here is about
+*which VMs* host the slots, which is exactly what DSM/DCR/CCR enact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.cluster.placement import PlacementPlan
+from repro.cluster.vm import D1, D2, D3, VMType
+from repro.dataflow.graph import Dataflow
+from repro.engine.runtime import TopologyRuntime
+
+#: Allocation tiers in scale order (index comparisons give the direction).
+TIER_ORDER: Dict[str, int] = {"consolidated": 0, "baseline": 1, "expanded": 2}
+
+
+@dataclass(frozen=True)
+class TargetAllocation:
+    """The VM fleet a given input rate calls for."""
+
+    #: ``consolidated`` (pack onto D3s), ``baseline`` (D2s) or ``expanded`` (D1s).
+    tier: str
+    #: Instances the 1-per-8 ev/s rule demands at the observed rate.
+    required_instances: int
+    #: Slots that must actually be hosted (the deployed executor count).
+    hosted_slots: int
+    #: ``required_instances / hosted_slots`` -- the load pressure that picked the tier.
+    pressure: float
+    #: VM flavour name -> count, e.g. ``{"D1": 13}``.
+    vm_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_vms(self) -> int:
+        """Number of worker VMs in this allocation."""
+        return sum(self.vm_counts.values())
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``expanded: 13xD1 (pressure 2.77)``."""
+        vms = " + ".join(f"{count}x{name}" for name, count in sorted(self.vm_counts.items()))
+        return f"{self.tier}: {vms} (pressure {self.pressure:.2f})"
+
+
+class AllocationPlanner:
+    """Turns an observed source rate into a target allocation tier."""
+
+    #: VM flavour used per tier.
+    TIER_VM_TYPES: Dict[str, VMType] = {"consolidated": D3, "baseline": D2, "expanded": D1}
+
+    def __init__(
+        self,
+        dataflow: Dataflow,
+        instance_capacity_ev_s: float = 8.0,
+        expand_pressure: float = 1.2,
+        consolidate_pressure: float = 0.95,
+    ) -> None:
+        if instance_capacity_ev_s <= 0:
+            raise ValueError("instance_capacity_ev_s must be positive")
+        if consolidate_pressure >= expand_pressure:
+            raise ValueError(
+                "consolidate_pressure must be below expand_pressure "
+                f"(got {consolidate_pressure} >= {expand_pressure})"
+            )
+        self.dataflow = dataflow
+        self.instance_capacity_ev_s = instance_capacity_ev_s
+        self.expand_pressure = expand_pressure
+        self.consolidate_pressure = consolidate_pressure
+        #: Steady-state per-task input rates at the declared source rates.
+        self._baseline_rates = dataflow.input_rates()
+        self._baseline_source_rate = sum(
+            self._baseline_rates[s.name] for s in dataflow.sources
+        )
+        if self._baseline_source_rate <= 0:
+            raise ValueError("dataflow sources must declare a positive rate")
+
+    # ------------------------------------------------------------------ rules
+    def required_instances(self, observed_rate_ev_s: float) -> int:
+        """Instances the paper's 1-per-``instance_capacity`` rule demands.
+
+        Every user task's steady-state input rate is scaled by
+        ``observed / baseline`` source rate; each task needs
+        ``ceil(rate / capacity)`` instances, at least one.
+        """
+        scale = max(0.0, observed_rate_ev_s) / self._baseline_source_rate
+        total = 0
+        for task in self.dataflow.user_tasks:
+            task_rate = self._baseline_rates[task.name] * scale
+            total += max(1, int(math.ceil(task_rate / self.instance_capacity_ev_s)))
+        return total
+
+    def plan(self, observed_rate_ev_s: float) -> TargetAllocation:
+        """Pick the allocation tier and VM packing for an observed rate."""
+        required = self.required_instances(observed_rate_ev_s)
+        hosted = self.dataflow.total_instances()
+        pressure = required / hosted if hosted else 0.0
+        if pressure >= self.expand_pressure:
+            tier = "expanded"
+        elif pressure <= self.consolidate_pressure:
+            tier = "consolidated"
+        else:
+            tier = "baseline"
+        vm_type = self.TIER_VM_TYPES[tier]
+        vm_counts = {vm_type.name: int(math.ceil(hosted / vm_type.slots))}
+        return TargetAllocation(
+            tier=tier,
+            required_instances=required,
+            hosted_slots=hosted,
+            pressure=pressure,
+            vm_counts=vm_counts,
+        )
+
+
+def plan_user_tasks_on(runtime: TopologyRuntime, target_vm_ids: Sequence[str]) -> PlacementPlan:
+    """Placement with user tasks on the target VMs only, via the runtime's scheduler.
+
+    Sources and sinks keep their existing slots (they are pinned to the
+    dedicated util VM and never migrate).
+    """
+    if runtime.placement is None:
+        raise ValueError("runtime must be deployed before planning a migration")
+    target_set: Set[str] = set(target_vm_ids)
+    exclude: List[str] = [vm.vm_id for vm in runtime.cluster.vms if vm.vm_id not in target_set]
+    user_ids = [e.executor_id for e in runtime.user_executors]
+    plan = runtime.scheduler.schedule(user_ids, runtime.cluster, pinned={}, exclude_vms=exclude)
+    for executor in list(runtime.source_executors) + list(runtime.sink_executors):
+        slot_id = runtime.placement.assignments[executor.executor_id]
+        plan.assign(executor.executor_id, slot_id, runtime.placement.slot_to_vm[slot_id])
+    return plan

@@ -86,6 +86,9 @@ class TimingConfig:
     #: Maximum instantaneous source emission rate when draining backlog or
     #: replaying failed events (events/second).
     source_max_burst_rate: float = 100.0
+    #: How often an idle source re-checks its rate profile while the profile
+    #: reports a non-positive rate (profile-driven sources only).
+    source_idle_recheck_s: float = 0.25
     #: State-store latency model (calibrated to 2000 events in ~100 ms).
     statestore_base_latency_s: float = 0.0005
     statestore_per_byte_latency_s: float = 5.0e-7

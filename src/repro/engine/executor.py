@@ -320,7 +320,14 @@ class Executor:
 
 
 class SourceExecutor(Executor):
-    """Source task instance: generates the input stream at a fixed rate.
+    """Source task instance: generates the input stream at a (possibly dynamic) rate.
+
+    The emission rate is either fixed (``task.rate``, the paper's 8 ev/s) or
+    follows a :class:`~repro.workloads.profiles.RateProfile` over simulated
+    time: the emit timer is re-armed after every tick (and on explicit
+    :meth:`set_rate` / :meth:`set_profile` calls) using the profile's current
+    rate, so step changes, ramps and bursts take effect within one
+    inter-event gap.
 
     While paused, generated events accumulate in a backlog that is drained at
     the configured burst rate once the source is unpaused (this is the input
@@ -332,6 +339,7 @@ class SourceExecutor(Executor):
 
     def __init__(self, executor_id: str, task: SourceTask, instance_index: int, runtime: "TopologyRuntimeLike") -> None:
         super().__init__(executor_id, task, instance_index, runtime)
+        self.profile = getattr(task, "profile", None)
         self.rate = float(task.rate)
         self.paused = False
         self._sequence = 0
@@ -341,6 +349,7 @@ class SourceExecutor(Executor):
         self._replay_counts: Dict[int, int] = {}
         self._emit_timer = None
         self._drain_timer = None
+        self._stopped = False
         self.emitted_count = 0
         self.replayed_count = 0
         self.skipped_ticks = 0
@@ -349,13 +358,67 @@ class SourceExecutor(Executor):
     def start(self) -> None:
         super().start()
         if self._emit_timer is None:
-            self._emit_timer = self.sim.every(1.0 / self.rate, self._tick)
+            self._arm_emit_timer()
 
     def stop(self) -> None:
-        """Stop generating events entirely (end of experiment)."""
+        """Stop generating events entirely (end of experiment).
+
+        Cancels the emit timer *and* any live drain timer: a drain timer left
+        running would keep emitting backlog and replays after the experiment
+        ends.
+        """
+        self._stopped = True
         if self._emit_timer is not None:
             self._emit_timer.cancel()
             self._emit_timer = None
+        self._stop_drain_timer()
+
+    # ------------------------------------------------------------ rate control
+    @property
+    def current_rate(self) -> float:
+        """Instantaneous generation rate (profile-driven or fixed)."""
+        if self.profile is not None:
+            return float(self.profile.rate_at(self.sim.now))
+        return self.rate
+
+    def set_rate(self, rate: float) -> None:
+        """Switch to a fixed emission rate, re-arming the emit timer now."""
+        if rate <= 0:
+            raise ValueError(f"source rate must be positive, got {rate}")
+        self.profile = None
+        self.rate = float(rate)
+        self._arm_emit_timer()
+
+    def set_profile(self, profile: Any) -> None:
+        """Follow a new rate profile from now on, re-arming the emit timer."""
+        self.profile = profile
+        self._arm_emit_timer()
+
+    def _arm_emit_timer(self) -> None:
+        """(Re)schedule the next generation tick from the current rate.
+
+        A non-positive profile rate idles the generator; it re-checks the
+        profile every ``timing.source_idle_recheck_s`` so a later non-zero
+        rate resumes emission.
+        """
+        if self._emit_timer is not None:
+            self._emit_timer.cancel()
+            self._emit_timer = None
+        if self._stopped:
+            return
+        rate = self.current_rate
+        if rate <= 0:
+            self._emit_timer = self.sim.schedule(
+                self.runtime.timing.source_idle_recheck_s, self._arm_emit_timer
+            )
+            return
+        self.rate = rate
+        self._emit_timer = self.sim.schedule(1.0 / rate, self._emit_tick)
+
+    def _emit_tick(self) -> None:
+        self._emit_timer = None
+        self._tick()
+        self._arm_emit_timer()
 
     # ---------------------------------------------------------------- pausing
     def pause(self) -> None:

@@ -99,6 +99,7 @@ class TopologyRuntime:
         self.router = Router(self)
 
         self.executors: Dict[str, Executor] = {}
+        self._user_executors_cache: Optional[List[Executor]] = None
         self.placement: Optional[PlacementPlan] = None
         self.deployed = False
         self.rebalances: List[RebalanceRecord] = []
@@ -126,17 +127,28 @@ class TopologyRuntime:
 
     @property
     def user_executors(self) -> List[Executor]:
-        """Executors of processing (user) tasks, in topological task order."""
-        result = []
-        for name in self.dataflow.topological_order:
-            task = self.dataflow.task(name)
-            if task.kind is not TaskKind.PROCESS:
-                continue
-            for executor_id in task.instance_ids():
-                executor = self.executors.get(executor_id)
-                if executor is not None:
-                    result.append(executor)
-        return result
+        """Executors of processing (user) tasks, in topological task order.
+
+        The list is cached (checkpoint waves and control-barrier queries ask
+        for it on hot paths) and invalidated whenever the executor set can
+        change (deploy, rebalance).
+        """
+        if self._user_executors_cache is None:
+            result = []
+            for name in self.dataflow.topological_order:
+                task = self.dataflow.task(name)
+                if task.kind is not TaskKind.PROCESS:
+                    continue
+                for executor_id in task.instance_ids():
+                    executor = self.executors.get(executor_id)
+                    if executor is not None:
+                        result.append(executor)
+            self._user_executors_cache = result
+        return list(self._user_executors_cache)
+
+    def _invalidate_executor_cache(self) -> None:
+        """Drop the cached user-executor list (executor set may have changed)."""
+        self._user_executors_cache = None
 
     def user_executor_id_set(self) -> Set[str]:
         """Ids of all user-task executors (the expected acking set for checkpoint waves)."""
@@ -169,6 +181,7 @@ class TopologyRuntime:
                 else:
                     executor = Executor(executor_id, task, index, self)
                 self.executors[executor_id] = executor
+        self._invalidate_executor_cache()
 
     def _find_util_vm(self) -> Optional[str]:
         for vm in self.cluster.vms:
@@ -388,6 +401,7 @@ class TopologyRuntime:
             self.executors[executor_id].place(slot_id, new_plan.vm_of(executor_id))
 
         self.placement = new_plan
+        self._invalidate_executor_cache()
         self.sim.schedule(record.command_duration_s, self._complete_rebalance, record, on_command_complete)
         return record
 

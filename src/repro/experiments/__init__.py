@@ -9,6 +9,10 @@ and raw event log.
 :mod:`repro.experiments.figures` contains one driver per table/figure of the
 paper's evaluation; the ``benchmarks/`` directory calls these and prints the
 reproduced rows next to the paper's published values.
+
+:mod:`repro.experiments.elastic` goes beyond the paper's manual experiments:
+profile-driven sources plus the :mod:`repro.elastic` autoscaling loop, which
+triggers migrations automatically as the input rate changes.
 """
 
 from repro.experiments.scenarios import (
@@ -19,16 +23,24 @@ from repro.experiments.scenarios import (
     run_migration_experiment,
     vm_counts_for,
 )
+from repro.experiments.elastic import (
+    ElasticRunResult,
+    ElasticScenarioSpec,
+    run_elastic_experiment,
+)
 from repro.experiments.figures import ExperimentMatrix
 from repro.experiments.formatting import format_table
 
 __all__ = [
+    "ElasticRunResult",
+    "ElasticScenarioSpec",
     "ExperimentMatrix",
     "MigrationRunResult",
     "ScenarioSpec",
     "build_experiment",
     "format_table",
     "plan_after_scaling",
+    "run_elastic_experiment",
     "run_migration_experiment",
     "vm_counts_for",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence
 
 from repro.cluster.cloud import CloudProvider, Cluster
 from repro.cluster.placement import PlacementPlan
@@ -26,6 +26,7 @@ from repro.cluster.vm import D1, D2, D3, VirtualMachine, VMType
 from repro.core.metrics import MigrationMetrics, compute_migration_metrics
 from repro.core.strategy import MigrationReport, strategy_by_name
 from repro.dataflow import topologies
+from repro.elastic.planner import plan_user_tasks_on
 from repro.dataflow.graph import Dataflow
 from repro.engine.runtime import TopologyRuntime
 from repro.metrics.log import EventLog
@@ -189,18 +190,11 @@ def plan_after_scaling(runtime: TopologyRuntime, target_vm_ids: Sequence[str]) -
     """Compute the post-migration placement: user tasks on the target VMs only.
 
     Sources and sinks keep their existing slots (they are pinned to the
-    dedicated util VM and never migrate).
+    dedicated util VM and never migrate).  This is the same planning step the
+    elastic controller performs; the logic lives in
+    :func:`repro.elastic.planner.plan_user_tasks_on`.
     """
-    if runtime.placement is None:
-        raise ValueError("runtime must be deployed before planning a migration")
-    target_set: Set[str] = set(target_vm_ids)
-    exclude = [vm.vm_id for vm in runtime.cluster.vms if vm.vm_id not in target_set]
-    user_ids = [e.executor_id for e in runtime.user_executors]
-    plan = runtime.scheduler.schedule(user_ids, runtime.cluster, pinned={}, exclude_vms=exclude)
-    for executor in list(runtime.source_executors) + list(runtime.sink_executors):
-        slot_id = runtime.placement.assignments[executor.executor_id]
-        plan.assign(executor.executor_id, slot_id, runtime.placement.slot_to_vm[slot_id])
-    return plan
+    return plan_user_tasks_on(runtime, target_vm_ids)
 
 
 def run_migration_experiment(

@@ -14,20 +14,24 @@ from repro.workloads.generator import (
     smart_meter_payload_factory,
 )
 from repro.workloads.profiles import (
+    PROFILE_PRESETS,
     BurstProfile,
     ConstantRateProfile,
     RampProfile,
     RateProfile,
     StepProfile,
+    profile_by_name,
 )
 
 __all__ = [
     "BurstProfile",
     "ConstantRateProfile",
+    "PROFILE_PRESETS",
     "PayloadFactory",
     "RampProfile",
     "RateProfile",
     "StepProfile",
+    "profile_by_name",
     "gps_payload_factory",
     "sensor_payload_factory",
     "smart_meter_payload_factory",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 
 class RateProfile(ABC):
@@ -109,3 +109,40 @@ class BurstProfile(RateProfile):
         if phase < self.burst_duration_s:
             return self.base_rate * self.burst_multiplier
         return self.base_rate
+
+
+# --------------------------------------------------------------- named presets
+#: Factories for the named profiles the CLI and the elastic scenario runner
+#: accept.  Each takes ``(base_rate, duration_s)`` and returns a profile whose
+#: interesting dynamics fit inside ``[0, duration_s]``.
+PROFILE_PRESETS: Dict[str, Callable[[float, float], RateProfile]] = {
+    "constant": lambda base, duration: ConstantRateProfile(rate=base),
+    # A rush-hour style surge: 1x -> 3x -> back to 1x.  The step times leave
+    # room before and after the surge for the controller to observe steady
+    # state, scale out, and scale back in.
+    "surge": lambda base, duration: StepProfile(
+        steps=[(0.0, base), (duration * 0.30, base * 3.0), (duration * 0.60, base)]
+    ),
+    # A linear climb to 3x that stays high (scale-out only).
+    "ramp": lambda base, duration: RampProfile(
+        start_rate=base, end_rate=base * 3.0,
+        ramp_start_s=duration * 0.25, ramp_end_s=duration * 0.60,
+    ),
+    # Short periodic spikes, the classic hysteresis stress test.
+    "burst": lambda base, duration: BurstProfile(
+        base_rate=base, burst_multiplier=4.0,
+        burst_period_s=max(duration / 4.0, 1.0),
+        burst_duration_s=max(duration / 40.0, 0.5),
+    ),
+}
+
+
+def profile_by_name(name: str, base_rate: float = 8.0, duration_s: float = 900.0) -> RateProfile:
+    """Construct one of the named preset profiles, scaled to a run duration."""
+    try:
+        factory = PROFILE_PRESETS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown rate profile {name!r}; choose from {sorted(PROFILE_PRESETS)}"
+        ) from None
+    return factory(base_rate, duration_s)
