@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Gate: fail when an engine benchmark regresses vs. the committed baseline.
+
+Compares ``results/BENCH_engine.json`` (written by running
+``benchmarks/test_engine_performance.py``) against
+``benchmarks/perf_baseline.json``.  A benchmark fails the gate when its mean
+is more than ``--threshold`` (default 2.0) times the baseline mean — loose
+enough to absorb machine-class differences between the baseline recorder and
+CI runners, tight enough to catch a real hot-path regression.
+
+Exit code 0 = all benchmarks within budget, 1 = regression, 2 = missing input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_CURRENT = HERE.parent / "results" / "BENCH_engine.json"
+DEFAULT_BASELINE = HERE / "perf_baseline.json"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT,
+                        help="BENCH_engine.json produced by the benchmark run")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE,
+                        help="committed baseline JSON")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when mean > threshold x baseline mean")
+    args = parser.parse_args()
+
+    if not args.current.exists():
+        print(f"error: {args.current} not found — run the engine benchmarks first", file=sys.stderr)
+        return 2
+    if not args.baseline.exists():
+        print(f"error: {args.baseline} not found", file=sys.stderr)
+        return 2
+
+    current = json.loads(args.current.read_text(encoding="utf-8"))["benchmarks"]
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))["benchmarks"]
+
+    failures = []
+    print(f"{'benchmark':32s} {'baseline':>12s} {'current':>12s} {'ratio':>8s}")
+    for name in sorted(baseline):
+        base_mean = baseline[name]["mean_s"]
+        entry = current.get(name)
+        if entry is None:
+            print(f"{name:32s} {base_mean * 1e3:10.2f}ms {'MISSING':>12s} {'-':>8s}")
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = entry["mean_s"] / base_mean if base_mean else float("inf")
+        flag = "  FAIL" if ratio > args.threshold else ""
+        print(f"{name:32s} {base_mean * 1e3:10.2f}ms {entry['mean_s'] * 1e3:10.2f}ms {ratio:7.2f}x{flag}")
+        if ratio > args.threshold:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline (threshold {args.threshold}x)")
+
+    if failures:
+        print("\nperformance regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall benchmarks within {args.threshold}x of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,8 +11,11 @@ survives pytest's output capturing.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 from pathlib import Path
+from typing import Dict
 
 import pytest
 
@@ -20,6 +23,86 @@ from repro.experiments.figures import ExperimentMatrix
 
 #: Directory where reproduced tables and series are written.
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Committed seed-era engine benchmark numbers (see test_engine_performance.py).
+PERF_BASELINE_PATH = Path(__file__).resolve().parent / "perf_baseline.json"
+
+#: Machine-readable engine benchmark output, written at session end.
+BENCH_ENGINE_PATH = RESULTS_DIR / "BENCH_engine.json"
+
+#: Session-wide collector: benchmark name -> {"mean_s": ..., "stddev_s": ..., "rounds": ...}.
+_ENGINE_BENCH_RESULTS: Dict[str, Dict[str, float]] = {}
+
+
+def record_engine_bench(name: str, benchmark) -> None:
+    """Register one engine benchmark's timing stats for ``BENCH_engine.json``.
+
+    Called by every test in ``test_engine_performance.py`` after the
+    ``benchmark`` fixture has run; reads the mean/stddev pytest-benchmark
+    computed so the JSON mirrors the human-readable table exactly.
+    """
+    stats = getattr(benchmark, "stats", None)
+    inner = getattr(stats, "stats", None) or stats
+    if inner is None:  # --benchmark-disable: nothing to record
+        return
+    _ENGINE_BENCH_RESULTS[name] = {
+        "mean_s": float(inner.mean),
+        "stddev_s": float(inner.stddev),
+        "rounds": int(getattr(inner, "rounds", 0) or len(getattr(inner, "data", []) or [])),
+    }
+
+
+def _load_perf_baseline() -> Dict[str, Dict[str, float]]:
+    if not PERF_BASELINE_PATH.exists():
+        return {}
+    data = json.loads(PERF_BASELINE_PATH.read_text(encoding="utf-8"))
+    return data.get("benchmarks", {})
+
+
+def write_bench_engine_json() -> Path:
+    """Write ``results/BENCH_engine.json`` from the collected benchmark stats.
+
+    Every benchmark entry carries its own mean/stddev plus, when the committed
+    seed baseline knows the benchmark, the baseline mean and the speedup
+    against it — the perf trajectory future PRs compare against.
+    """
+    baseline = _load_perf_baseline()
+    benchmarks = {}
+    for name, stats in sorted(_ENGINE_BENCH_RESULTS.items()):
+        entry = dict(stats)
+        base = baseline.get(name)
+        if base and base.get("mean_s"):
+            entry["baseline_mean_s"] = base["mean_s"]
+            entry["speedup_vs_seed"] = round(base["mean_s"] / stats["mean_s"], 3)
+        benchmarks[name] = entry
+    payload = {
+        "schema": "repro-bench-engine/1",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": benchmarks,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    BENCH_ENGINE_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return BENCH_ENGINE_PATH
+
+
+@pytest.fixture()
+def engine_bench_recorder():
+    """The ``record_engine_bench`` callable, as a fixture.
+
+    Tests must use this fixture rather than importing the function: pytest
+    loads this conftest as a plugin under its own module name, so a direct
+    ``from benchmarks.conftest import ...`` would populate a *second* module
+    instance whose collector the session-finish hook never sees.
+    """
+    return record_engine_bench
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the engine benchmark trajectory once the session is over."""
+    if _ENGINE_BENCH_RESULTS:
+        path = write_bench_engine_json()
+        print(f"\n[engine benchmarks written to {path}]")
 
 
 def write_result(name: str, text: str) -> Path:

@@ -1,22 +1,37 @@
-"""Engine performance benchmarks (not a paper figure).
+"""Engine performance benchmark suite (not a paper figure).
 
-These measure the wall-clock cost of the simulation substrate itself: the
-event-loop throughput of the kernel and the cost of simulating one second of
-the Grid dataflow.  They guard against performance regressions that would make
-the full experiment matrix impractically slow.
+These measure the wall-clock cost of the simulation substrate itself across
+its four hot layers:
+
+* the **kernel** event loop (plain timers and the fire-and-forget fast path),
+* **routing fan-out** (grouping selection, per-channel FIFO, batched
+  same-channel deliveries),
+* **event-log queries** (the bisect-indexed windows metrics and monitors use),
+* the end-to-end **Grid steady state** (the paper's dominant workload).
+
+Every benchmark registers its mean/stddev with the session collector in
+``benchmarks/conftest.py``, which writes ``results/BENCH_engine.json``
+including the speedup against the committed seed baseline
+(``benchmarks/perf_baseline.json``).  They guard against performance
+regressions that would make the full experiment matrix impractically slow.
 """
 
 from __future__ import annotations
 
 from repro.dataflow import topologies
+from repro.dataflow.builder import TopologyBuilder
+from repro.dataflow.event import Event
+from repro.dataflow.grouping import Grouping
+from repro.metrics.log import EventLog
+from repro.metrics.timeline import latency_timeline, rate_timeline
 from repro.sim import Simulator
 
 from tests.conftest import build_cluster, fast_config
 from repro.engine.runtime import TopologyRuntime
 
 
-def test_kernel_event_throughput(benchmark):
-    """Schedule-and-run throughput of the discrete-event kernel."""
+def test_kernel_event_throughput(benchmark, engine_bench_recorder):
+    """Schedule-and-run throughput of the discrete-event kernel (Timer path)."""
 
     def run_10k_events():
         sim = Simulator()
@@ -27,9 +42,139 @@ def test_kernel_event_throughput(benchmark):
 
     processed = benchmark(run_10k_events)
     assert processed == 10_000
+    engine_bench_recorder("kernel_event_throughput", benchmark)
 
 
-def test_grid_steady_state_simulation_cost(benchmark):
+def test_kernel_fast_path_throughput(benchmark, engine_bench_recorder):
+    """Throughput of the fire-and-forget scheduling fast path (no Timer handles).
+
+    Falls back to the Timer path when the kernel predates ``schedule_fast``,
+    so the committed seed baseline records the cost of the old path for the
+    same workload.
+    """
+
+    def run_10k_events():
+        sim = Simulator()
+        schedule_fast = getattr(sim, "schedule_fast", None)
+        if schedule_fast is not None:
+            for i in range(10_000):
+                schedule_fast(i * 0.001, _noop)
+        else:  # seed kernel
+            for i in range(10_000):
+                sim.schedule(i * 0.001, _noop)
+        sim.run()
+        return sim.processed_events
+
+    processed = benchmark(run_10k_events)
+    assert processed == 10_000
+    engine_bench_recorder("kernel_fast_path_throughput", benchmark)
+
+
+def _noop() -> None:
+    return None
+
+
+def _fanout_runtime() -> TopologyRuntime:
+    """A deployed two-stage fan-out topology for routing benchmarks."""
+    builder = TopologyBuilder("fanout")
+    builder.add_source("source", rate=1.0)
+    builder.add_task("up", parallelism=1, latency_s=0.001)
+    builder.add_task("down", parallelism=8, latency_s=0.001)
+    builder.add_sink("sink")
+    builder.connect("source", "up")
+    builder.connect("up", "down", grouping=Grouping.ALL)
+    builder.connect("down", "sink")
+    sim = Simulator()
+    cluster = build_cluster(sim, worker_vms=6)
+    runtime = TopologyRuntime(builder.build(), cluster, sim=sim, config=fast_config("dcr"))
+    runtime.deploy()
+    for executor in runtime.executors.values():
+        executor.start()
+    return runtime
+
+
+def test_routing_fanout_cost(benchmark, engine_bench_recorder):
+    """Cost of routing 50 batches of 16 events through an 8-way ALL fan-out.
+
+    Exercises grouping selection, the per-channel FIFO bookkeeping and (post
+    overhaul) the batched same-channel delivery path: each ``route()`` call
+    emits 16 events on the same 8 channels in one tick.
+    """
+
+    def fan_out():
+        runtime = _fanout_runtime()
+        router = runtime.router
+        sim = runtime.sim
+        for round_index in range(50):
+            events = [
+                Event.data("up", payload={"seq": round_index * 16 + i}, created_at=sim.now)
+                for i in range(16)
+            ]
+            router.route("up#0", "up", events)
+            sim.run(until=sim.now + 1.0)
+        return router.routed_count
+
+    routed = benchmark.pedantic(fan_out, rounds=5, iterations=1, warmup_rounds=1)
+    # 50 rounds x 16 events x 8 ALL-grouping targets, plus downstream hops.
+    assert routed >= 50 * 16 * 8
+    engine_bench_recorder("routing_fanout", benchmark)
+
+
+class _Clock:
+    """Minimal stand-in for the Simulator in log-only benchmarks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def _synthetic_log(num_records: int = 50_000) -> EventLog:
+    """An EventLog with ``num_records`` emits and receipts in time order."""
+    clock = _Clock()
+    log = EventLog(clock)  # type: ignore[arg-type]
+    for i in range(num_records):
+        clock.now = i * 0.01
+        log.record_source_emit(root_id=i, source="source", replay_count=0)
+        log.record_sink_receipt(
+            root_id=i, event_id=i * 7 + 1, sink="sink",
+            root_emitted_at=clock.now - 0.5, replay_count=1 if i % 97 == 0 else 0,
+        )
+    clock.now = num_records * 0.01
+    return log
+
+
+def test_log_query_cost(benchmark, engine_bench_recorder):
+    """Cost of the windowed log queries metrics and monitors issue every sample.
+
+    Replays the query mix of one monitoring pass over a 50k-record log:
+    short sliding windows, recovery-metric scans and both timelines.
+    """
+    log = _synthetic_log()
+    end = log.sim.now
+
+    def query_mix():
+        total = 0
+        for i in range(100):
+            start = (i * 37) % int(end - 10)
+            total += len(log.receipts_between(start, start + 10.0))
+            total += len(log.emits_between(start, start + 10.0))
+        total += len(log.receipts_after(end - 30.0))
+        first = log.first_receipt_after(end / 2)
+        total += 0 if first is None else 1
+        last_old = log.last_old_receipt(end / 2)
+        total += 0 if last_old is None else 1
+        last_replay = log.last_replay_receipt(end / 2)
+        total += 0 if last_replay is None else 1
+        total += log.distinct_roots_received()
+        total += len(rate_timeline(log, kind="output", bin_s=5.0))
+        total += len(latency_timeline(log, window_s=10.0))
+        return total
+
+    total = benchmark(query_mix)
+    assert total > 0
+    engine_bench_recorder("log_query", benchmark)
+
+
+def test_grid_steady_state_simulation_cost(benchmark, engine_bench_recorder):
     """Wall-clock cost of simulating 10 s of the Grid dataflow in steady state."""
 
     def simulate():
@@ -41,6 +186,7 @@ def test_grid_steady_state_simulation_cost(benchmark):
         sim.run(until=10.0)
         return len(runtime.log.sink_receipts)
 
-    receipts = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    receipts = benchmark.pedantic(simulate, rounds=5, iterations=1, warmup_rounds=1)
     # 32 ev/s for ~10 s minus pipeline fill.
     assert receipts > 200
+    engine_bench_recorder("grid_steady_state", benchmark)

@@ -57,16 +57,36 @@ class NetworkModel:
         self.jitter_fraction = jitter_fraction
         self._rng = rng or RandomSource()
 
+    def base_latency(self, src_vm: Optional[str], dst_vm: Optional[str]) -> float:
+        """Un-jittered transfer latency between the given VMs.
+
+        ``None`` for either endpoint (e.g. an executor not yet placed) is
+        treated as an inter-VM hop.  The router caches this per channel and
+        applies jitter itself on the hot path.
+        """
+        if src_vm is not None and src_vm == dst_vm:
+            return self.intra_vm_latency_s
+        return self.inter_vm_latency_s
+
+    def jitter_sampler(self):
+        """Bound ``uniform(a, b)`` sampler of the shared jitter stream.
+
+        Returns the stream's method directly so hot paths skip the per-call
+        stream-registry lookup.  Binding it eagerly does not perturb the
+        draw sequence: streams are seeded by name, not by creation order.
+        """
+        return self._rng.stream("network-jitter").uniform
+
     def transfer_latency(self, src_vm: Optional[str], dst_vm: Optional[str]) -> float:
         """Latency for one event transfer between the given VMs.
 
-        ``None`` for either endpoint (e.g. an executor not yet placed) is
-        treated as an inter-VM hop.
+        Reference implementation for tests and ad-hoc callers.  The router's
+        hot path draws from the *same* ``network-jitter`` stream through its
+        bound sampler, so calling this during a live run interleaves with
+        (and shifts) the router's jitter sequence — fine for standalone use,
+        but do not mix it into an in-flight experiment.
         """
-        if src_vm is not None and src_vm == dst_vm:
-            base = self.intra_vm_latency_s
-        else:
-            base = self.inter_vm_latency_s
+        base = self.base_latency(src_vm, dst_vm)
         if self.jitter_fraction <= 0:
             return base
         jitter = self._rng.uniform("network-jitter", -self.jitter_fraction, self.jitter_fraction)

@@ -195,11 +195,14 @@ class ElasticityController:
 
     def _start_migration(self, action: ScalingAction) -> None:
         # Worker VMs in use before the migration; vacated ones are released
-        # once the protocol completes.  The util VM never migrates.
+        # once the protocol completes.  The util VM never migrates.  Sorted:
+        # ``vms_used`` is a set, and release/record order must not depend on
+        # PYTHONHASHSEED (cross-process reproducibility).
+        provisioned = set(action.provisioned_vm_ids)
         old_vm_ids = [
             vm_id
-            for vm_id in self.runtime.placement.vms_used
-            if vm_id != self.runtime.util_vm_id and vm_id not in set(action.provisioned_vm_ids)
+            for vm_id in sorted(self.runtime.placement.vms_used)
+            if vm_id != self.runtime.util_vm_id and vm_id not in provisioned
         ]
         new_plan = plan_user_tasks_on(self.runtime, action.provisioned_vm_ids)
         strategy = self.strategy_cls(self.runtime)

@@ -8,16 +8,51 @@ copies with the acker service when acking is enabled, and enforces FIFO
 delivery ordering per (sender executor, receiver executor) channel -- the
 property checkpoint control events rely on to be the "rearguard" behind all
 data events on a channel.
+
+Hot-path design
+---------------
+Routing is the inner loop of every experiment, so the router keeps three
+caches, all invalidated by :meth:`Router.invalidate_caches` whenever the
+runtime changes the executor set or the placement (deploy, rebalance,
+migration):
+
+* a **route plan** per task: its outgoing edges with the destination
+  instance tuple resolved once, instead of rebuilding edge and instance
+  lists per event;
+* a **per-channel base latency**: whether a (sender, receiver) pair is an
+  intra- or inter-VM hop, so each event pays one jitter draw instead of two
+  executor->VM dict hops plus the network model dispatch;
+* a **bound jitter sampler** for the network's ``network-jitter`` stream
+  (binding it early is safe: streams are seeded by name, not creation
+  order).
+
+Deliveries are scheduled on the kernel's fire-and-forget fast path.  When a
+single ``route()`` call emits several events onto the same channel (a batch
+produced in one tick), the router schedules *one* delivery callback carrying
+the (time, event) list, which walks the channel's FIFO times itself instead
+of holding one heap entry per event.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cloud import NetworkModel
-from repro.dataflow.event import Event
+from repro.dataflow.event import Event, EventKind, next_event_id
 from repro.dataflow.graph import Dataflow, Edge
 from repro.dataflow.grouping import Grouping
+
+
+def _stable_field_index(key: str, num_instances: int) -> int:
+    """Stable FIELDS-grouping instance index.
+
+    Uses CRC-32 rather than the builtin ``hash()``: string hashing is
+    randomized per process (``PYTHONHASHSEED``), which would send keyed
+    streams to different instances run-to-run and make placements and
+    figures irreproducible.
+    """
+    return zlib.crc32(key.encode("utf-8")) % num_instances
 
 
 class Router:
@@ -28,18 +63,207 @@ class Router:
         self._shuffle_counters: Dict[Tuple[str, str], int] = {}
         self._last_delivery: Dict[Tuple[str, str], float] = {}
         self.routed_count = 0
+        #: task name -> tuple of (edge, destination instances, grouping, instance count).
+        self._route_plans: Dict[str, Tuple[Tuple[Edge, Tuple[str, ...], Grouping, int], ...]] = {}
+        #: (sender, receiver) -> base (un-jittered) transfer latency.
+        self._channel_base: Dict[Tuple[str, str], float] = {}
+        network: NetworkModel = runtime.cluster.network
+        self._network = network
+        self._jitter_fraction = network.jitter_fraction
+        # Bound `random()` of the jitter stream plus the precomputed uniform
+        # transform (a, b-a): `a + (b-a)*random()` is exactly what
+        # ``random.Random.uniform(a, b)`` computes, without the call frame.
+        self._jitter_random = network.jitter_sampler().__self__.random
+        self._jitter_low = -self._jitter_fraction
+        self._jitter_span = self._jitter_fraction - self._jitter_low
+
+    # ---------------------------------------------------------------- caches
+    def invalidate_caches(self) -> None:
+        """Drop placement- and topology-derived caches.
+
+        Must be called whenever executors move between VMs or the executor
+        set changes (deploy, rebalance, migration).  Routing *state* (shuffle
+        counters, per-channel FIFO times) is deliberately preserved: it is
+        semantics, not cache.
+        """
+        self._route_plans.clear()
+        self._channel_base.clear()
+
+    def _build_plan(self, task_name: str) -> Tuple[Tuple[Edge, Tuple[str, ...], Grouping, int], ...]:
+        dataflow: Dataflow = self.runtime.dataflow
+        plan = []
+        for edge in dataflow.out_edges(task_name):
+            instances = tuple(dataflow.task(edge.dst).instance_ids())
+            plan.append((edge, instances, edge.grouping, len(instances)))
+        plan = tuple(plan)
+        self._route_plans[task_name] = plan
+        return plan
 
     # --------------------------------------------------------------- routing
     def route(self, sender_executor_id: str, task_name: str, events: List[Event]) -> None:
-        """Deliver each event on every outgoing edge of ``task_name``."""
+        """Deliver each event on every outgoing edge of ``task_name``.
+
+        The router takes **ownership** of ``events``: each event object is
+        either duplicated per delivery (fan-out) or re-stamped with the fresh
+        event id its copy would have received and delivered directly (the
+        dominant single-delivery case).  Callers must not touch an event
+        after routing it.
+
+        Target selection must stay in lock-step with :meth:`_select_targets`
+        (the uncached reference used by direct callers and tests).
+        """
         if not events:
             return
-        dataflow: Dataflow = self.runtime.dataflow
-        for edge in dataflow.out_edges(task_name):
+        plan = self._route_plans.get(task_name)
+        if plan is None:
+            plan = self._build_plan(task_name)
+        if len(events) == 1 and len(plan) == 1:
+            # Dominant shape (one event, one out-edge, one target): fully
+            # inlined dispatch, including the channel latency and FIFO
+            # bookkeeping of _delivery_time.
+            edge, instances, grouping, num = plan[0]
+            event = events[0]
+            if num == 1:
+                target = instances[0]
+            elif grouping is Grouping.SHUFFLE:
+                counter_key = (sender_executor_id, edge.dst)
+                index = self._shuffle_counters.get(counter_key, 0)
+                self._shuffle_counters[counter_key] = index + 1
+                target = instances[index % num]
+            elif grouping is Grouping.GLOBAL:
+                target = instances[0]
+            elif grouping is Grouping.FIELDS:
+                target = instances[_stable_field_index(self._field_key(event), num)]
+            else:  # ALL fans out: take the general path below
+                target = None
+            if target is not None:
+                runtime = self.runtime
+                sim = runtime.sim
+                # Sole delivery of this event: re-stamp the original with the
+                # id a copy would have drawn (same counter position, so ids
+                # are bit-identical to the copying path), skip the allocation.
+                event.event_id = event_id = next_event_id()
+                if event.anchored and runtime.ack_data_events and event.kind is EventKind.DATA:
+                    runtime.acker.anchor(event.root_id, event_id)
+                channel = (sender_executor_id, target)
+                base = self._channel_base.get(channel)
+                if base is None:
+                    base = self._channel_base[channel] = self._network.base_latency(
+                        runtime.executor_vm(sender_executor_id), runtime.executor_vm(target)
+                    )
+                if self._jitter_fraction > 0:
+                    # Parenthesized to match uniform()'s `a + (b-a)*r` (see
+                    # _delivery_time).
+                    latency = base * (1.0 + (self._jitter_low + self._jitter_span * self._jitter_random()))
+                    if latency < 0.0:
+                        latency = 0.0
+                else:
+                    latency = base
+                delivery_time = sim.now + latency
+                earliest = self._last_delivery.get(channel, 0.0) + 1e-9
+                if earliest > delivery_time:
+                    delivery_time = earliest
+                self._last_delivery[channel] = delivery_time
+                self.routed_count += 1
+                sim.schedule_at_fast(delivery_time, runtime.deliver, (target, event, sender_executor_id))
+                return
+        self._route_general(sender_executor_id, plan, events)
+
+    def _route_general(
+        self,
+        sender_executor_id: str,
+        plan: Tuple[Tuple[Edge, Tuple[str, ...], Grouping, int], ...],
+        events: List[Event],
+    ) -> None:
+        """Multi-event and fan-out routing (batched same-channel deliveries)."""
+        runtime = self.runtime
+        sim = runtime.sim
+        acker = runtime.acker
+        ack_data = runtime.ack_data_events
+        deliver = runtime.deliver
+        schedule_at_fast = sim.schedule_at_fast
+        shuffle_counters = self._shuffle_counters
+        now = sim.now  # time cannot advance while routing (no callbacks run)
+        single = len(events) == 1
+        single_edge = len(plan) == 1
+        batches: Optional[Dict[str, List[Tuple[float, Event]]]] = None
+        for edge, instances, grouping, num in plan:
             for event in events:
-                targets = self._select_targets(sender_executor_id, edge, event)
+                if num == 1:
+                    targets = instances
+                elif grouping is Grouping.ALL:
+                    targets = instances
+                elif grouping is Grouping.GLOBAL:
+                    targets = instances[:1]
+                elif grouping is Grouping.FIELDS:
+                    key = self._field_key(event)
+                    targets = (instances[_stable_field_index(key, num)],)
+                else:  # shuffle: round-robin per (sender executor, destination task)
+                    counter_key = (sender_executor_id, edge.dst)
+                    index = shuffle_counters.get(counter_key, 0)
+                    shuffle_counters[counter_key] = index + 1
+                    targets = (instances[index % num],)
+                if single_edge and len(targets) == 1:
+                    # Sole delivery of this event: re-stamp instead of copying
+                    # (see the fast path above).
+                    target_executor_id = targets[0]
+                    event.event_id = next_event_id()
+                    if event.anchored and ack_data and event.kind is EventKind.DATA:
+                        acker.anchor(event.root_id, event.event_id)
+                    delivery_time = self._delivery_time(sender_executor_id, target_executor_id, now)
+                    self.routed_count += 1
+                    if single:
+                        schedule_at_fast(
+                            delivery_time, deliver, (target_executor_id, event, sender_executor_id)
+                        )
+                    else:
+                        if batches is None:
+                            batches = {}
+                        batches.setdefault(target_executor_id, []).append((delivery_time, event))
+                    continue
                 for target_executor_id in targets:
-                    self._send(sender_executor_id, target_executor_id, event.copy_for_edge())
+                    copy = event.copy_for_edge()
+                    if copy.anchored and ack_data and copy.kind is EventKind.DATA:
+                        acker.anchor(copy.root_id, copy.event_id)
+                    delivery_time = self._delivery_time(sender_executor_id, target_executor_id, now)
+                    self.routed_count += 1
+                    if single:
+                        schedule_at_fast(
+                            delivery_time, deliver, (target_executor_id, copy, sender_executor_id)
+                        )
+                    else:
+                        if batches is None:
+                            batches = {}
+                        batches.setdefault(target_executor_id, []).append((delivery_time, copy))
+        if batches is not None:
+            for target_executor_id, pairs in batches.items():
+                if len(pairs) == 1:
+                    schedule_at_fast(
+                        pairs[0][0], deliver, (target_executor_id, pairs[0][1], sender_executor_id)
+                    )
+                else:
+                    # One callback walks the channel's FIFO-ordered times.
+                    schedule_at_fast(
+                        pairs[0][0], self._deliver_batch, (target_executor_id, sender_executor_id, pairs, 0)
+                    )
+
+    def _deliver_batch(
+        self, target_executor_id: str, sender_id: str, pairs: List[Tuple[float, Event]], index: int
+    ) -> None:
+        """Deliver one event of a same-channel batch, then re-arm for the next.
+
+        Per-channel delivery times are strictly increasing (FIFO), so the
+        pairs list is already time-sorted and a single in-flight heap entry
+        suffices for the whole batch.
+        """
+        self.runtime.deliver(target_executor_id, pairs[index][1], sender_id)
+        next_index = index + 1
+        if next_index < len(pairs):
+            self.runtime.sim.schedule_at_fast(
+                pairs[next_index][0],
+                self._deliver_batch,
+                (target_executor_id, sender_id, pairs, next_index),
+            )
 
     def send_direct(self, sender_id: str, target_executor_id: str, event: Event) -> None:
         """Deliver an event directly to a specific executor (checkpoint channels)."""
@@ -47,6 +271,11 @@ class Router:
 
     # ------------------------------------------------------- target selection
     def _select_targets(self, sender_executor_id: str, edge: Edge, event: Event) -> List[str]:
+        """Uncached reference implementation of grouping target selection.
+
+        :meth:`route` inlines the same rules on its cached plan; keep the two
+        in sync.
+        """
         dst_task = self.runtime.dataflow.task(edge.dst)
         instances = dst_task.instance_ids()
         if len(instances) == 1:
@@ -57,7 +286,7 @@ class Router:
             return [instances[0]]
         if edge.grouping is Grouping.FIELDS:
             key = self._field_key(event)
-            return [instances[hash(key) % len(instances)]]
+            return [instances[_stable_field_index(key, len(instances))]]
         # Shuffle grouping: round-robin per (sender executor, destination task).
         counter_key = (sender_executor_id, edge.dst)
         index = self._shuffle_counters.get(counter_key, 0)
@@ -74,17 +303,36 @@ class Router:
         return str(payload)
 
     # --------------------------------------------------------------- delivery
+    def _delivery_time(self, sender_id: str, target_executor_id: str, now: float) -> float:
+        """Jittered arrival time respecting the channel's FIFO ordering."""
+        channel = (sender_id, target_executor_id)
+        base = self._channel_base.get(channel)
+        if base is None:
+            runtime = self.runtime
+            base = self._network.base_latency(
+                runtime.executor_vm(sender_id), runtime.executor_vm(target_executor_id)
+            )
+            self._channel_base[channel] = base
+        if self._jitter_fraction > 0:
+            # Parenthesized to match uniform()'s `a + (b-a)*r` before the 1.0
+            # add — float addition is not associative and the figure runs
+            # must reproduce the historical jitter values bit-for-bit.
+            latency = base * (1.0 + (self._jitter_low + self._jitter_span * self._jitter_random()))
+            if latency < 0.0:
+                latency = 0.0
+        else:
+            latency = base
+        delivery_time = now + latency
+        earliest = self._last_delivery.get(channel, 0.0) + 1e-9
+        if earliest > delivery_time:
+            delivery_time = earliest
+        self._last_delivery[channel] = delivery_time
+        return delivery_time
+
     def _send(self, sender_id: str, target_executor_id: str, event: Event) -> None:
         runtime = self.runtime
         if event.anchored and event.is_data and runtime.ack_data_events:
             runtime.acker.anchor(event.root_id, event.event_id)
-        src_vm = runtime.executor_vm(sender_id)
-        dst_vm = runtime.executor_vm(target_executor_id)
-        network: NetworkModel = runtime.cluster.network
-        latency = network.transfer_latency(src_vm, dst_vm)
-        channel = (sender_id, target_executor_id)
-        earliest = self._last_delivery.get(channel, 0.0)
-        delivery_time = max(runtime.sim.now + latency, earliest + 1e-9)
-        self._last_delivery[channel] = delivery_time
+        delivery_time = self._delivery_time(sender_id, target_executor_id, runtime.sim.now)
         self.routed_count += 1
-        runtime.sim.schedule_at(delivery_time, runtime.deliver, target_executor_id, event, sender_id)
+        runtime.sim.schedule_at_fast(delivery_time, runtime.deliver, (target_executor_id, event, sender_id))

@@ -221,6 +221,8 @@ class TopologyRuntime:
             slot = self.cluster.find_slot(slot_id)
             slot.assign(executor_id)
             self.executors[executor_id].place(slot_id, plan.vm_of(executor_id))
+        # Executors moved: the router's channel-latency/route-plan caches are stale.
+        self.router.invalidate_caches()
 
     def start(self) -> None:
         """Start all executors (sources begin emitting)."""
@@ -256,7 +258,9 @@ class TopologyRuntime:
 
     def ack_processed(self, event: Event) -> None:
         """Acknowledge a fully processed data event to the acker service."""
-        if event.is_data and event.anchored and self.ack_data_events:
+        # Cheapest check first: `anchored` is a plain attribute and False for
+        # every event when acking is off (the common configuration).
+        if event.anchored and self.ack_data_events and event.is_data:
             self.acker.ack(event.root_id, event.event_id)
 
     def deliver(self, executor_id: str, event: Event, sender_id: str) -> None:
@@ -270,11 +274,10 @@ class TopologyRuntime:
         produces the INIT re-send waves the paper observes.
         """
         executor = self.executors.get(executor_id)
+        if executor is not None and executor.deliver(event, sender_id):
+            return
         if executor is None:
             self.log.record_drop(executor_id, event.kind.value, "unknown-executor", event.root_id)
-            return
-        accepted = executor.deliver(event, sender_id)
-        if accepted:
             return
         if event.is_data and self.placement is not None and executor_id in self.placement:
             self._deferred_deliveries.setdefault(executor_id, []).append((event, sender_id))
@@ -376,8 +379,11 @@ class TopologyRuntime:
         )
         self.rebalances.append(record)
 
-        # Kill migrating executors and release their slots immediately.
-        for executor_id in migrating:
+        # Kill migrating executors and release their slots immediately.  The
+        # iteration is sorted so kill/lifecycle records (and everything
+        # downstream of them) are reproducible across processes: ``migrating``
+        # is a set of strings, whose order varies with PYTHONHASHSEED.
+        for executor_id in sorted(migrating):
             executor = self.executors.get(executor_id)
             if executor is None:
                 continue
@@ -390,8 +396,8 @@ class TopologyRuntime:
                 except KeyError:
                     pass
 
-        # Apply the new placement for migrating executors.
-        for executor_id in migrating:
+        # Apply the new placement for migrating executors (sorted: see above).
+        for executor_id in sorted(migrating):
             if executor_id not in new_plan.assignments:
                 continue
             slot_id = new_plan.slot_of(executor_id)
@@ -402,6 +408,7 @@ class TopologyRuntime:
 
         self.placement = new_plan
         self._invalidate_executor_cache()
+        self.router.invalidate_caches()
         self.sim.schedule(record.command_duration_s, self._complete_rebalance, record, on_command_complete)
         return record
 

@@ -25,6 +25,7 @@ from repro.cluster.cloud import CloudProvider, Cluster
 from repro.cluster.vm import D2, D3
 from repro.core.strategy import strategy_by_name
 from repro.dataflow import topologies
+from repro.dataflow.event import reset_event_ids
 from repro.dataflow.graph import Dataflow
 from repro.elastic import (
     AllocationPlanner,
@@ -136,6 +137,10 @@ def run_elastic_experiment(
     scales the deployment with the chosen strategy whenever the observed
     rate leaves the current tier's band.  Runs until ``duration_s``.
     """
+    # Hermetic run: event ids restart at 1 so results do not depend on what
+    # else ran in this process (see run_migration_experiment for the DSM
+    # ack-hash rationale).
+    reset_event_ids()
     profile_name = profile if isinstance(profile, str) else type(profile).__name__
     spec = ElasticScenarioSpec(
         dag=dag, strategy=strategy, profile=profile_name, duration_s=duration_s, seed=seed
@@ -154,6 +159,11 @@ def run_elastic_experiment(
     # source's rate, so it is only accepted for single-source dataflows.
     sources = dataflow.sources
     base_rate = sum(float(getattr(s, "rate", 0.0)) for s in sources)
+    # The caller's dataflow must come back unchanged: remember each source's
+    # profile and restore it after the run.  Without this, a reused dataflow
+    # kept the *first* run's profile forever (the is-None guard skipped it on
+    # the next call) while the result claimed the newly requested one.
+    original_profiles = [(source, source.profile) for source in sources]
     if isinstance(profile, str):
         rate_profile = profile_by_name(profile, base_rate=base_rate, duration_s=duration_s)
         for source in sources:
@@ -208,9 +218,16 @@ def run_elastic_experiment(
     )
     controller.start()
 
-    sim.run(until=duration_s)
-    controller.stop()
-    runtime.stop_sources()
+    try:
+        sim.run(until=duration_s)
+    finally:
+        controller.stop()
+        runtime.stop_sources()
+        # Hand the dataflow back the way we received it (see above); the
+        # executors captured their profiles at start, so the completed
+        # result is unaffected.
+        for source, original_profile in original_profiles:
+            source.profile = original_profile
 
     return ElasticRunResult(
         spec=spec,

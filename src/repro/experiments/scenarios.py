@@ -26,6 +26,7 @@ from repro.cluster.vm import D1, D2, D3, VirtualMachine, VMType
 from repro.core.metrics import MigrationMetrics, compute_migration_metrics
 from repro.core.strategy import MigrationReport, strategy_by_name
 from repro.dataflow import topologies
+from repro.dataflow.event import reset_event_ids
 from repro.elastic.planner import plan_user_tasks_on
 from repro.dataflow.graph import Dataflow
 from repro.engine.runtime import TopologyRuntime
@@ -206,7 +207,17 @@ def run_migration_experiment(
     seed: int = 2018,
     dataflow: Optional[Dataflow] = None,
 ) -> MigrationRunResult:
-    """Run one complete migration experiment and compute its §4 metrics."""
+    """Run one complete migration experiment and compute its §4 metrics.
+
+    The global event-id counter is reset first, making every run hermetic.
+    Without this, DSM results depend on the absolute event ids in flight when
+    the rebalance kills executors: the acker's XOR tree hash can
+    coincidentally return to zero over *lost* ids (Storm's known ack-hash
+    collision), so whether a given tree times out and replays varied with
+    whatever had consumed ids earlier in the process — i.e. figure outputs
+    silently depended on test execution order.
+    """
+    reset_event_ids()
     spec = ScenarioSpec(
         dag=dag,
         strategy=strategy,

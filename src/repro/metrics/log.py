@@ -5,17 +5,30 @@ event, executor kill and lifecycle transition.  Experiments and metrics are
 computed entirely from this log (plus the strategy's phase timestamps), which
 mirrors the paper's methodology of logging event timestamps on the VMs and
 analysing them offline.
+
+Index design
+------------
+The log is append-only and simulated time never goes backwards, so the record
+lists are monotone in time.  Next to each hot list the log maintains a plain
+``List[float]`` of the record times (:attr:`EventLog.emit_times`,
+:attr:`EventLog.receipt_times`); every windowed query
+(``receipts_after/between``, ``emits_between``, ``first_receipt_after``, the
+recovery-metric scans) binary-searches those arrays with :mod:`bisect` instead
+of scanning the whole list — monitors and metrics issue these queries every
+sample, which made the naive linear scans quadratic over a long run.
+``distinct_roots_received`` is maintained incrementally for the same reason.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
 
 from repro.sim import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SourceEmit:
     """One event emission by a source task (first emission, backlog drain or replay)."""
 
@@ -26,7 +39,7 @@ class SourceEmit:
     from_backlog: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SinkReceipt:
     """One event received by a sink task."""
 
@@ -43,7 +56,7 @@ class SinkReceipt:
         return self.time - self.root_emitted_at
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DropRecord:
     """An event dropped because its destination executor could not accept it."""
 
@@ -54,7 +67,7 @@ class DropRecord:
     root_id: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeferredRecord:
     """A data event held by the transport while its destination executor restarts."""
 
@@ -63,7 +76,7 @@ class DeferredRecord:
     root_id: Optional[int] = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KillRecord:
     """An executor kill, with the number of queued events lost."""
 
@@ -73,7 +86,7 @@ class KillRecord:
     pending_events_lost: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LifecycleRecord:
     """An executor lifecycle transition (started, killed, restarted, ready, initialized)."""
 
@@ -94,7 +107,12 @@ class EventLog:
         self.kills: List[KillRecord] = []
         self.lifecycle: List[LifecycleRecord] = []
         self.replay_emits: int = 0
+        #: Monotone time arrays parallel to source_emits / sink_receipts
+        #: (the bisect indexes behind every windowed query).
+        self.emit_times: List[float] = []
+        self.receipt_times: List[float] = []
         self._root_first_emit: Dict[int, float] = {}
+        self._roots_received: Set[int] = set()
 
     # -------------------------------------------------------------- recording
     def record_source_emit(
@@ -106,6 +124,7 @@ class EventLog:
             SourceEmit(time=now, root_id=root_id, source=source,
                        replay_count=replay_count, from_backlog=from_backlog)
         )
+        self.emit_times.append(now)
         if replay_count > 0:
             self.replay_emits += 1
         if root_id not in self._root_first_emit:
@@ -115,10 +134,13 @@ class EventLog:
         self, root_id: int, event_id: int, sink: str, root_emitted_at: float, replay_count: int
     ) -> None:
         """Record that a sink received an event now."""
+        now = self.sim.now
         self.sink_receipts.append(
-            SinkReceipt(time=self.sim.now, root_id=root_id, event_id=event_id, sink=sink,
+            SinkReceipt(time=now, root_id=root_id, event_id=event_id, sink=sink,
                         root_emitted_at=root_emitted_at, replay_count=replay_count)
         )
+        self.receipt_times.append(now)
+        self._roots_received.add(root_id)
 
     def record_drop(self, executor_id: str, kind: str, reason: str, root_id: Optional[int] = None) -> None:
         """Record that an event could not be delivered to an executor."""
@@ -153,34 +175,66 @@ class EventLog:
 
     def receipts_after(self, time: float) -> List[SinkReceipt]:
         """Sink receipts at or after the given time, in time order."""
-        return [r for r in self.sink_receipts if r.time >= time]
+        return self.sink_receipts[bisect_left(self.receipt_times, time):]
 
     def receipts_between(self, start: float, end: float) -> List[SinkReceipt]:
         """Sink receipts in ``[start, end)``."""
-        return [r for r in self.sink_receipts if start <= r.time < end]
+        times = self.receipt_times
+        return self.sink_receipts[bisect_left(times, start):bisect_left(times, end)]
 
     def emits_between(self, start: float, end: float) -> List[SourceEmit]:
         """Source emissions in ``[start, end)``."""
-        return [e for e in self.source_emits if start <= e.time < end]
+        times = self.emit_times
+        return self.source_emits[bisect_left(times, start):bisect_left(times, end)]
 
     def first_receipt_after(self, time: float) -> Optional[SinkReceipt]:
         """Earliest sink receipt at or after the given time, if any."""
-        candidates = self.receipts_after(time)
-        return min(candidates, key=lambda r: r.time) if candidates else None
+        index = bisect_left(self.receipt_times, time)
+        return self.sink_receipts[index] if index < len(self.sink_receipts) else None
 
     def last_old_receipt(self, migration_time: float) -> Optional[SinkReceipt]:
-        """Latest sink receipt (after migration) of a root emitted before the migration."""
-        old = [
-            r
-            for r in self.sink_receipts
-            if r.time >= migration_time and self.is_old_root(r.root_id, migration_time)
-        ]
-        return max(old, key=lambda r: r.time) if old else None
+        """Latest sink receipt (after migration) of a root emitted before the migration.
+
+        Walks backwards from the end of the (time-ordered) receipt list and
+        stops at the first old-root receipt, instead of filtering the whole
+        log.  Among equal-time candidates the *earliest-recorded* one is
+        returned, matching the historical ``max(..., key=time)`` behaviour
+        (``max`` keeps the first of ties in iteration order).
+        """
+        receipts = self.sink_receipts
+        start = bisect_left(self.receipt_times, migration_time)
+        for index in range(len(receipts) - 1, start - 1, -1):
+            receipt = receipts[index]
+            if self.is_old_root(receipt.root_id, migration_time):
+                best = receipt
+                for prior_index in range(index - 1, start - 1, -1):
+                    prior = receipts[prior_index]
+                    if prior.time != best.time:
+                        break
+                    if self.is_old_root(prior.root_id, migration_time):
+                        best = prior
+                return best
+        return None
 
     def last_replay_receipt(self, migration_time: float) -> Optional[SinkReceipt]:
-        """Latest sink receipt of a replayed (previously failed) event after the migration."""
-        replays = [r for r in self.sink_receipts if r.time >= migration_time and r.replay_count > 0]
-        return max(replays, key=lambda r: r.time) if replays else None
+        """Latest sink receipt of a replayed (previously failed) event after the migration.
+
+        Same backward walk and tie handling as :meth:`last_old_receipt`.
+        """
+        receipts = self.sink_receipts
+        start = bisect_left(self.receipt_times, migration_time)
+        for index in range(len(receipts) - 1, start - 1, -1):
+            receipt = receipts[index]
+            if receipt.replay_count > 0:
+                best = receipt
+                for prior_index in range(index - 1, start - 1, -1):
+                    prior = receipts[prior_index]
+                    if prior.time != best.time:
+                        break
+                    if prior.replay_count > 0:
+                        best = prior
+                return best
+        return None
 
     def lost_in_kills(self) -> int:
         """Total number of queued events lost across all executor kills."""
@@ -197,8 +251,11 @@ class EventLog:
         return len(self.deferred)
 
     def distinct_roots_received(self) -> int:
-        """Number of distinct root events observed at the sinks."""
-        return len({r.root_id for r in self.sink_receipts})
+        """Number of distinct root events observed at the sinks.
+
+        Maintained incrementally at record time (a set-size read, not a scan).
+        """
+        return len(self._roots_received)
 
     def summary(self) -> Dict[str, float]:
         """Coarse counters describing the run (useful in example output)."""

@@ -100,7 +100,7 @@ class StateStore:
         self.stats.bytes_written += max(0, size_bytes)
         self.stats.total_write_latency_s += latency
         if on_complete is not None:
-            self.sim.schedule(latency, on_complete)
+            self.sim.schedule_fast(latency, on_complete)
         return latency
 
     def get(
@@ -122,7 +122,7 @@ class StateStore:
         self.stats.bytes_read += size
         self.stats.total_read_latency_s += latency
         if on_complete is not None:
-            self.sim.schedule(latency, on_complete, value)
+            self.sim.schedule_fast(latency, on_complete, (value,))
         return latency
 
     def delete(self, key: str) -> bool:

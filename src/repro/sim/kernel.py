@@ -3,8 +3,21 @@
 The kernel is intentionally small: a virtual clock, a priority queue of
 scheduled callbacks, and helpers for periodic timers.  Components of the
 Storm-like engine (executors, ackers, checkpoint coordinators, the cloud
-substrate) interact only through :meth:`Simulator.schedule`, which keeps the
+substrate) interact only through the ``schedule*`` methods, which keeps the
 whole system deterministic and single-threaded.
+
+Two scheduling paths exist:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return a
+  :class:`Timer` handle that can be cancelled before it fires.  Cancelled
+  handles stay in the heap until their time comes up; the kernel counts them
+  and compacts the heap when they pile up (long elastic runs re-arm and
+  cancel many periodic timers).
+* :meth:`Simulator.schedule_fast` / :meth:`Simulator.schedule_at_fast` are the
+  **fire-and-forget fast path** used by the engine's hot loops (event
+  deliveries, service completions, state-store latencies).  They allocate no
+  handle and accept no kwargs, which roughly halves the per-event scheduling
+  cost; the trade-off is that such events cannot be cancelled.
 
 Times are expressed in **seconds of simulated time** as floats.  Sub-millisecond
 resolution is routinely used (e.g. state-store write latency).
@@ -16,6 +29,11 @@ import heapq
 import itertools
 import math
 from typing import Any, Callable, List, Optional, Tuple
+
+
+#: Compaction trigger: cancelled entries must exceed this count *and* half the
+#: heap before the kernel rebuilds the heap without them.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
@@ -30,7 +48,7 @@ class Timer:
     the callback has run (or the timer has been cancelled) the handle is inert.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired", "_sim")
 
     def __init__(
         self,
@@ -39,6 +57,7 @@ class Timer:
         callback: Callable[..., Any],
         args: Tuple[Any, ...],
         kwargs: dict,
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -47,10 +66,15 @@ class Timer:
         self.kwargs = kwargs
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -82,19 +106,22 @@ class Simulator:
     def __init__(self, start_time: float = 0.0) -> None:
         if not math.isfinite(start_time):
             raise SimulationError("start_time must be finite")
-        self._now = float(start_time)
-        self._queue: List[Tuple[float, int, Timer]] = []
+        #: Current simulated time in seconds.  A plain attribute (not a
+        #: property): it is read on every scheduling call and inside every
+        #: callback, and the descriptor dispatch was measurable.  Treat as
+        #: read-only outside the kernel.
+        self.now = float(start_time)
+        # Heap entries are either ``(time, seq, Timer)`` (cancellable path) or
+        # ``(time, seq, callback, args)`` (fire-and-forget fast path).  The
+        # seq is unique, so tuple comparison never reaches the third element.
+        self._queue: List[tuple] = []
         self._counter = itertools.count()
         self._running = False
         self._stopped = False
         self._processed = 0
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------ clock
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
-
     @property
     def processed_events(self) -> int:
         """Number of callbacks that have been executed so far."""
@@ -102,8 +129,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of scheduled (not yet executed, possibly cancelled) events."""
-        return len(self._queue)
+        """Number of scheduled, not yet executed, *live* events.
+
+        Cancelled timers still sitting in the heap are not counted (they will
+        never fire).
+        """
+        return len(self._queue) - self._cancelled_in_heap
 
     # ------------------------------------------------------------- scheduling
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Timer:
@@ -114,21 +145,45 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+        return self.schedule_at(self.now + delay, callback, *args, **kwargs)
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Timer:
         """Schedule ``callback`` at an absolute simulated time."""
         if not math.isfinite(time):
             raise SimulationError("scheduled time must be finite")
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at t={time:.6f}, which is before now={self._now:.6f}"
+                f"cannot schedule at t={time:.6f}, which is before now={self.now:.6f}"
             )
         if not callable(callback):
             raise SimulationError(f"callback must be callable, got {callback!r}")
-        timer = Timer(time, next(self._counter), callback, args, kwargs)
-        heapq.heappush(self._queue, (timer.time, timer.seq, timer))
+        timer = Timer(time, next(self._counter), callback, args, kwargs, self)
+        heapq.heappush(self._queue, (time, timer.seq, timer))
         return timer
+
+    def schedule_fast(self, delay: float, callback: Callable[..., Any], args: Tuple[Any, ...] = ()) -> None:
+        """Fire-and-forget :meth:`schedule`: no Timer handle, no kwargs.
+
+        This is the engine's hot path for events that are never cancelled
+        (deliveries, service completions, store latencies).  Positional
+        arguments are passed as a tuple.  The callback cannot be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        time = self.now + delay
+        if not math.isfinite(time):
+            raise SimulationError(f"scheduled time must be finite, got {time}")
+        heapq.heappush(self._queue, (time, next(self._counter), callback, args))
+
+    def schedule_at_fast(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...] = ()) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no Timer handle, no kwargs."""
+        if not math.isfinite(time):
+            raise SimulationError(f"scheduled time must be finite, got {time}")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, which is before now={self.now:.6f}"
+            )
+        heapq.heappush(self._queue, (time, next(self._counter), callback, args))
 
     def every(
         self,
@@ -145,6 +200,27 @@ class Simulator:
         """
         return PeriodicTimer(self, period, callback, args, kwargs, start_delay=start_delay)
 
+    # -------------------------------------------------- cancellation plumbing
+    def _note_cancelled(self) -> None:
+        """A pending Timer was cancelled; compact the heap if they pile up."""
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled timers (pop order is unchanged).
+
+        In place: run() keeps a local reference to the heap list, so the list
+        object must survive compaction.
+        """
+        live = [entry for entry in self._queue if len(entry) == 4 or not entry[2].cancelled]
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+        self._cancelled_in_heap = 0
+
     # ---------------------------------------------------------------- running
     def step(self) -> bool:
         """Execute the next pending event.
@@ -152,11 +228,19 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the queue was
         empty (only cancelled timers or nothing at all).
         """
-        while self._queue:
-            _, _, timer = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            if len(entry) == 4:
+                self.now = entry[0]
+                self._processed += 1
+                entry[2](*entry[3])
+                return True
+            timer = entry[2]
             if timer.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
-            self._now = timer.time
+            self.now = timer.time
             timer.fired = True
             self._processed += 1
             timer.callback(*timer.args, **timer.kwargs)
@@ -174,25 +258,88 @@ class Simulator:
             executed event.
         max_events:
             Safety valve: stop after this many callbacks.
+
+        The loop bodies are the whole-experiment hot path: entries are popped
+        inline (no step() call) with the heap and heappop bound to locals, the
+        processed counter accumulated locally (flushed on exit -- the
+        ``processed_events`` property is a between-runs statistic, not a
+        mid-callback one), and the unbounded/bounded variants split so each
+        pays only the checks it needs.  Compaction swaps heap contents in
+        place, so the local ``queue`` binding stays valid throughout.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = self._processed
         try:
-            while self._queue and not self._stopped:
-                time_next = self._queue[0][0]
-                if until is not None and time_next > until:
-                    break
-                if not self.step():
-                    break
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
-            if until is not None and not self._stopped and self._now < until:
-                self._now = until
+            if until is None and max_events is None:
+                # Run-to-exhaustion: pop directly, no peek needed.
+                while queue and not self._stopped:
+                    entry = heappop(queue)
+                    if len(entry) == 4:
+                        # Fast-path entry: (time, seq, callback, args).
+                        self.now = entry[0]
+                        processed += 1
+                        entry[2](*entry[3])
+                    else:
+                        timer = entry[2]
+                        if timer.cancelled:
+                            self._cancelled_in_heap -= 1
+                            continue
+                        self.now = entry[0]
+                        timer.fired = True
+                        processed += 1
+                        timer.callback(*timer.args, **timer.kwargs)
+            elif max_events is None:
+                # Bounded by time only: one peek-compare per event.
+                while queue and not self._stopped:
+                    entry = queue[0]
+                    if entry[0] > until:
+                        break
+                    heappop(queue)
+                    if len(entry) == 4:
+                        self.now = entry[0]
+                        processed += 1
+                        entry[2](*entry[3])
+                    else:
+                        timer = entry[2]
+                        if timer.cancelled:
+                            self._cancelled_in_heap -= 1
+                            continue
+                        self.now = entry[0]
+                        timer.fired = True
+                        processed += 1
+                        timer.callback(*timer.args, **timer.kwargs)
+            else:
+                while queue and not self._stopped:
+                    entry = queue[0]
+                    if until is not None and entry[0] > until:
+                        break
+                    heappop(queue)
+                    if len(entry) == 4:
+                        self.now = entry[0]
+                        processed += 1
+                        entry[2](*entry[3])
+                    else:
+                        timer = entry[2]
+                        if timer.cancelled:
+                            self._cancelled_in_heap -= 1
+                            continue
+                        self.now = entry[0]
+                        timer.fired = True
+                        processed += 1
+                        timer.callback(*timer.args, **timer.kwargs)
+                    executed += 1
+                    if executed >= max_events:
+                        break
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
         finally:
+            self._processed = processed
             self._running = False
 
     def stop(self) -> None:
@@ -203,10 +350,10 @@ class Simulator:
         """Run the simulation for ``delta`` seconds of simulated time from now."""
         if delta < 0:
             raise SimulationError("cannot advance by a negative duration")
-        self.run(until=self._now + delta)
+        self.run(until=self.now + delta)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self._now:.3f}, pending={len(self._queue)})"
+        return f"Simulator(now={self.now:.3f}, pending={self.pending_events})"
 
 
 class PeriodicTimer:

@@ -106,3 +106,73 @@ class TestDeliverySemantics:
         runtime.router.send_direct("source#0", "c#0", event)
         runtime.sim.run(until=1.0)
         assert runtime.executor("c#0").processed_count >= 1
+
+
+class TestBatchedDeliveries:
+    """The batched same-channel delivery path (multi-event route() calls)."""
+
+    def _batch_runtime(self, grouping=Grouping.SHUFFLE):
+        runtime = make_runtime(dataflow=grouping_dataflow(grouping), worker_vms=4)
+        for executor in runtime.executors.values():
+            if executor.task.kind.value != "source":
+                executor.start()
+        return runtime
+
+    def test_batch_delivers_every_event_in_fifo_order(self):
+        runtime = self._batch_runtime(Grouping.ALL)
+        delivered = []
+        original_deliver = runtime.deliver
+
+        def spy(executor_id, event, sender_id):
+            delivered.append((runtime.sim.now, executor_id, event.payload["seq"]))
+            original_deliver(executor_id, event, sender_id)
+
+        runtime.deliver = spy
+        events = [Event.data("up", payload={"seq": i}, created_at=0.0) for i in range(16)]
+        runtime.router.route("up#0", "up", events)
+        runtime.sim.run(until=5.0)
+
+        batch = [entry for entry in delivered if entry[1].startswith("down#")]
+        # ALL grouping: every instance sees every event of the batch.
+        assert len(batch) == 16 * 3
+        for target in ("down#0", "down#1", "down#2"):
+            sequence = [seq for _, executor_id, seq in batch if executor_id == target]
+            assert sequence == list(range(16))
+            times = [t for t, executor_id, _ in batch if executor_id == target]
+            assert times == sorted(times)
+            assert len(set(times)) == len(times)  # strictly increasing (FIFO spacing)
+
+    def test_batch_uses_one_inflight_heap_entry_per_channel(self):
+        runtime = self._batch_runtime(Grouping.ALL)
+        before = runtime.sim.pending_events
+        events = [Event.data("up", payload={"seq": i}, created_at=0.0) for i in range(16)]
+        runtime.router.route("up#0", "up", events)
+        scheduled = runtime.sim.pending_events - before
+        # 48 deliveries ride on 3 batch callbacks (one per channel), not 48.
+        assert scheduled == 3
+        runtime.sim.run(until=5.0)
+        assert sum(runtime.executor(f"down#{i}").processed_count for i in range(3)) == 48
+
+    def test_batch_results_match_per_event_routing(self):
+        """Routing a batch equals routing the same events one at a time."""
+
+        def collect(route_batched):
+            runtime = self._batch_runtime(Grouping.SHUFFLE)
+            delivered = []
+            original_deliver = runtime.deliver
+
+            def spy(executor_id, event, sender_id):
+                delivered.append((executor_id, event.payload["seq"]))
+                original_deliver(executor_id, event, sender_id)
+
+            runtime.deliver = spy
+            events = [Event.data("up", payload={"seq": i}, created_at=0.0) for i in range(12)]
+            if route_batched:
+                runtime.router.route("up#0", "up", events)
+            else:
+                for event in events:
+                    runtime.router.route("up#0", "up", [event])
+            runtime.sim.run(until=5.0)
+            return [entry for entry in delivered if entry[0].startswith("down#")]
+
+        assert collect(True) == collect(False)

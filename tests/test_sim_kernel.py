@@ -213,3 +213,126 @@ class TestPeriodicTimer:
         holder["timer"] = sim.every(1.0, once)
         sim.run(until=10.0)
         assert fired == pytest.approx([1.0])
+
+
+class TestFastPathScheduling:
+    def test_schedule_fast_runs_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_fast(2.0, fired.append, ("late",))
+        sim.schedule_fast(1.0, fired.append, ("early",))
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_schedule_at_fast_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at_fast(3.5, fired.append, ("x",))
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == pytest.approx(3.5)
+
+    def test_fast_and_timer_entries_interleave_by_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "timer-first")
+        sim.schedule_fast(1.0, fired.append, ("fast-second",))
+        sim.schedule(1.0, fired.append, "timer-third")
+        sim.run()
+        assert fired == ["timer-first", "fast-second", "timer-third"]
+
+    def test_fast_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_fast(-0.1, lambda: None)
+
+    def test_fast_schedule_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at_fast(1.0, lambda: None)
+
+    def test_fast_events_count_as_processed_and_pending(self):
+        sim = Simulator()
+        sim.schedule_fast(1.0, lambda: None)
+        sim.schedule_fast(2.0, lambda: None)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.processed_events == 2
+        assert sim.pending_events == 0
+
+    def test_step_executes_fast_entries(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_fast(1.0, fired.append, ("a",))
+        assert sim.step() is True
+        assert fired == ["a"]
+
+
+class TestPendingEventAccounting:
+    def test_pending_events_excludes_cancelled_timers(self):
+        """Bugfix: cancelled timers still in the heap are not 'pending'."""
+        sim = Simulator()
+        timers = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        timers[0].cancel()
+        timers[3].cancel()
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.processed_events == 3
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        timer = sim.schedule(1.0, lambda: None)
+        sim.run()
+        timer.cancel()  # inert: already fired
+        assert sim.pending_events == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        timer = sim.schedule(1.0, lambda: None)
+        other = sim.schedule(2.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert sim.pending_events == 1
+        sim.run()
+        assert other.fired
+
+    def test_periodic_timer_cancellation_does_not_leak_heap_entries(self):
+        """Bugfix: long runs that re-arm and cancel periodic timers compact."""
+        sim = Simulator()
+
+        def churn():
+            # Re-create a periodic timer every tick, cancelling the old one:
+            # this is the elastic controller's re-arm pattern that used to
+            # leave one dead heap entry per cancellation.
+            if holder["drain"] is not None:
+                holder["drain"].cancel()
+            holder["drain"] = sim.every(50.0, lambda: None)
+
+        holder = {"drain": None}
+        driver = sim.every(0.01, churn)
+        sim.run(until=20.0)
+        driver.cancel()
+        # ~2000 cancelled drain timers were created; compaction must keep the
+        # heap near the live count instead of accumulating them all.
+        assert sim.pending_events <= 2
+        assert len(sim._queue) < 200
+
+    def test_compaction_preserves_order_and_results(self):
+        sim = Simulator()
+        fired = []
+        timers = [sim.schedule(1000.0 + i, fired.append, i) for i in range(300)]
+        # Cancel all but every 29th; crossing the threshold triggers compaction.
+        survivors = []
+        for i, timer in enumerate(timers):
+            if i % 29 == 0:
+                survivors.append(i)
+            else:
+                timer.cancel()
+        assert sim.pending_events == len(survivors)
+        assert len(sim._queue) < 300  # compaction actually shrank the heap
+        sim.run()
+        assert fired == survivors
