@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Accumulate per-run engine benchmark results into a trend artifact.
+
+Appends the current ``results/BENCH_engine.json`` (written by
+``benchmarks/test_engine_performance.py``) as one entry of
+``results/BENCH_trend.json``, a list ordered oldest-first.  Each entry keeps
+the per-benchmark means plus enough context (commit, branch, timestamp,
+machine) to chart the perf trajectory across PRs — the 2x CI gate only
+catches cliffs; the trend file is the substrate for spotting slow drift.
+
+In CI the ``engine-benchmarks`` job restores the previous trend file from
+the actions cache (``bench-trend-*`` prefix restore), runs this script right
+after the regression gate, saves the grown file back to the cache under a
+run-scoped key, and uploads it as an artifact — so the history genuinely
+accumulates across runs.  Locally it simply grows the file in place,
+building a machine-local history.
+
+Exit code 0 = appended, 2 = missing input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_CURRENT = HERE.parent / "results" / "BENCH_engine.json"
+DEFAULT_TREND = HERE.parent / "results" / "BENCH_trend.json"
+
+#: Cap so a long-lived local history cannot grow without bound.
+MAX_ENTRIES = 500
+
+
+def _git(*args: str) -> str:
+    try:
+        return subprocess.run(
+            ["git", *args], cwd=HERE.parent, capture_output=True, text=True, timeout=10
+        ).stdout.strip()
+    except OSError:
+        return ""
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT,
+                        help="BENCH_engine.json produced by the benchmark run")
+    parser.add_argument("--trend", type=Path, default=DEFAULT_TREND,
+                        help="trend JSON to append to (created if absent)")
+    args = parser.parse_args()
+
+    if not args.current.exists():
+        print(f"error: {args.current} not found — run the engine benchmarks first",
+              file=sys.stderr)
+        return 2
+
+    current = json.loads(args.current.read_text(encoding="utf-8"))
+    entry = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "commit": os.environ.get("GITHUB_SHA") or _git("rev-parse", "HEAD") or None,
+        "branch": os.environ.get("GITHUB_REF_NAME") or _git("rev-parse", "--abbrev-ref", "HEAD") or None,
+        "python": current.get("python"),
+        "machine": current.get("machine"),
+        "benchmarks": {
+            name: {"mean_s": stats["mean_s"], "stddev_s": stats.get("stddev_s")}
+            for name, stats in current.get("benchmarks", {}).items()
+        },
+    }
+
+    trend = []
+    if args.trend.exists():
+        try:
+            trend = json.loads(args.trend.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            print(f"warning: {args.trend} was unreadable; starting a fresh trend",
+                  file=sys.stderr)
+    if not isinstance(trend, list):
+        trend = []
+    trend.append(entry)
+    trend = trend[-MAX_ENTRIES:]
+
+    args.trend.parent.mkdir(parents=True, exist_ok=True)
+    args.trend.write_text(json.dumps(trend, indent=2) + "\n", encoding="utf-8")
+    print(f"appended entry #{len(trend)} ({entry['commit'] or 'no commit'}) to {args.trend}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

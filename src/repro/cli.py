@@ -5,6 +5,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro describe grid
     python -m repro experiment --dag grid --strategy ccr --scaling in
     python -m repro elastic --dag traffic --strategy ccr --profile surge
+    python -m repro rescale --dag grid --strategy ccr --surge 2.0
     python -m repro figure table1
     python -m repro figure fig5 --scaling out
     python -m repro figure drain
@@ -13,7 +14,10 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 ``experiment`` runs a single migration experiment and prints the §4 metrics;
 ``elastic`` runs a closed-loop autoscaling experiment (profile-driven sources,
 monitor, planner and controller) and prints the scaling timeline plus the
-cloud bill; ``figure`` regenerates one of the paper's tables/figures (the
+cloud bill; ``rescale`` rides one surge twice -- once with capacity-adding
+parallelism rescale, once with the paper's placement-only scaling -- and
+prints the side-by-side latency/backlog comparison; ``figure`` regenerates
+one of the paper's tables/figures (the
 same drivers the benchmark harness uses) and prints the reproduced rows next
 to the paper's published values.
 """
@@ -26,7 +30,11 @@ from typing import List, Optional
 
 from repro.dataflow import topologies
 from repro.elastic import ControllerConfig
-from repro.experiments import run_elastic_experiment, run_migration_experiment
+from repro.experiments import (
+    run_elastic_experiment,
+    run_migration_experiment,
+    run_rescale_experiment,
+)
 from repro.experiments.figures import (
     ExperimentMatrix,
     drain_time_rows,
@@ -156,6 +164,52 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rescale(args: argparse.Namespace) -> int:
+    if args.duration <= 0:
+        print("repro rescale: error: --duration must be positive", file=sys.stderr)
+        return 2
+    if args.surge <= 1.0:
+        print("repro rescale: error: --surge must be > 1", file=sys.stderr)
+        return 2
+    result = run_rescale_experiment(
+        dag=args.dag,
+        strategy=args.strategy,
+        surge_multiplier=args.surge,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+
+    print(f"Rescale comparison: {args.dag} / {args.strategy}, "
+          f"{args.surge:g}x surge over [{result.surge_start_s:.0f}s, {result.surge_end_s:.0f}s] "
+          f"of a {args.duration:.0f}s run")
+    print()
+    print(format_table(
+        [result.capacity.as_dict(), result.placement.as_dict()],
+        title="Capacity-adding rescale vs placement-only scaling "
+              "(measured from surge start to end of run)",
+    ))
+    print()
+    for summary in (result.capacity, result.placement):
+        for action in summary.result.actions:
+            rescale = action.target.rescale
+            changed = (
+                f"rescaled {len(rescale.targets)} tasks -> "
+                f"{sum(rescale.targets.values())} target instances"
+                if rescale is not None else "placement only (parallelism fixed)"
+            )
+            print(f"  {summary.mode:9s} scale-{action.direction} at t={action.decided_at:7.1f}s "
+                  f"({action.from_tier}->{action.to_tier}): {changed}")
+    print()
+    if result.capacity_wins:
+        print(f"Capacity-adding rescale wins: {result.latency_improvement:.2f}x lower mean "
+              f"sink latency, and {result.placement.final_backlog - result.capacity.final_backlog} "
+              f"fewer backlogged events left at the end of the run than placement-only scaling.")
+    else:
+        print("Placement-only scaling was not beaten on this configuration "
+              "(try a stronger --surge or a longer --duration).")
+    return 0
+
+
 def _matrix(args: argparse.Namespace) -> ExperimentMatrix:
     return ExperimentMatrix(
         migrate_at_s=args.migrate_at,
@@ -236,6 +290,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="quiet period after a migration before the next one (seconds)")
     elastic.add_argument("--seed", type=int, default=2018)
     elastic.set_defaults(func=_cmd_elastic)
+
+    rescale = sub.add_parser(
+        "rescale",
+        help="compare capacity-adding rescale vs placement-only scaling on one surge",
+    )
+    rescale.add_argument("--dag", default="grid", choices=sorted(topologies.PAPER_TOPOLOGIES))
+    rescale.add_argument("--strategy", default="ccr", choices=("dsm", "dcr", "ccr"))
+    rescale.add_argument("--surge", type=float, default=2.0,
+                         help="surge multiplier applied to the baseline source rate")
+    rescale.add_argument("--duration", type=float, default=600.0,
+                         help="total simulated run time (seconds); the surge spans 25%%-60%% of it")
+    rescale.add_argument("--seed", type=int, default=2018)
+    rescale.set_defaults(func=_cmd_rescale)
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's tables/figures")
     figure.add_argument("name", choices=("table1", "fig5", "fig6", "fig7", "fig8", "fig9",

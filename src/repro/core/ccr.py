@@ -20,6 +20,12 @@ each task restores its state, replays its captured events locally -- emitting
 their outputs downstream -- and only then are the sources unpaused.  The
 dataflow therefore resumes from exactly where it stopped: the drain time of
 DCR is overlapped with the refill time after the rebalance.
+
+A mid-migration rescale (inherited from DCR) happens after the COMMIT wave:
+the captured pending events persisted with each instance's checkpoint are
+re-routed to the *new* owner instances (by field key for FIELDS-grouped
+tasks) along with the re-partitioned state, so the local replay after INIT
+happens exactly where future deliveries of the same keys will land.
 """
 
 from __future__ import annotations

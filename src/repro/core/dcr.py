@@ -35,9 +35,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.cluster.placement import PlacementPlan
-from repro.core.strategy import MigrationReport, MigrationStrategy, register_strategy
+from repro.core.strategy import MigrationReport, MigrationStrategy, PlanInput, register_strategy
 from repro.dataflow.event import CheckpointAction
+from repro.dataflow.graph import RescalePlan
 from repro.dataflow.task import UserLogic
 from repro.engine.config import RuntimeConfig
 from repro.engine.runtime import RebalanceRecord
@@ -61,19 +61,25 @@ class DrainCheckpointRestore(MigrationStrategy):
 
     def migrate(
         self,
-        new_plan: PlacementPlan,
+        new_plan: PlanInput,
         on_complete: Optional[Callable[[MigrationReport], None]] = None,
         logic_updates: Optional[Dict[str, UserLogic]] = None,
+        rescale: Optional[RescalePlan] = None,
     ) -> MigrationReport:
-        """Enact the migration; optionally install new user logic per task.
+        """Enact the migration; optionally install new user logic or rescale tasks.
 
         ``logic_updates`` maps task names to replacement user-logic callables
         that take effect after the restore, before the sources resume -- the
         paper's "update the task logic while re-wiring the DAG" extension.
+        ``rescale`` changes task instance counts at DCR's natural clean
+        boundary: after the drain + just-in-time checkpoint (state persisted
+        under the old partitioning), the checkpoints are re-keyed to the new
+        instance set and the rebalance deploys it, so old events are processed
+        entirely by the old parallelism and new events by the new.
         """
         report = self._new_report()
         self._on_complete = on_complete
-        self._new_plan = new_plan
+        self._stage_enactment(new_plan, rescale)
         self._logic_updates = dict(logic_updates or {})
         for task_name in self._logic_updates:
             if task_name not in self.runtime.dataflow:
@@ -118,8 +124,23 @@ class DrainCheckpointRestore(MigrationStrategy):
         report = self.report
         assert report is not None
         report.commit_completed_at = self.runtime.sim.now
+        # Safe point for a parallelism change: the dataflow is drained (DCR)
+        # or captured (CCR) and the freshest state was just persisted, so the
+        # checkpoints can be re-keyed to the new instance set before the
+        # rebalance deploys it.  The redistribution's modelled store latency
+        # gates the rebalance -- moving a lot of grouped state is not free.
+        store_latency_s = self._enact_rescale()
+        if store_latency_s > 0:
+            self.runtime.sim.schedule(store_latency_s, self._start_rebalance)
+        else:
+            self._start_rebalance()
+
+    def _start_rebalance(self) -> None:
+        report = self.report
+        assert report is not None
+        new_plan = self._resolve_plan()
         report.rebalance_started_at = self.runtime.sim.now
-        record = self.runtime.rebalance(self._new_plan, on_command_complete=self._after_rebalance_command)
+        record = self.runtime.rebalance(new_plan, on_command_complete=self._after_rebalance_command)
         report.rebalance_record = record
 
     def _after_rebalance_command(self, record: RebalanceRecord) -> None:

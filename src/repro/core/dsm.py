@@ -23,9 +23,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.cluster.placement import PlacementPlan
-from repro.core.strategy import MigrationReport, MigrationStrategy, register_strategy
+from repro.core.strategy import MigrationReport, MigrationStrategy, PlanInput, register_strategy
 from repro.dataflow.event import CheckpointAction
+from repro.dataflow.graph import RescalePlan
 from repro.engine.config import RuntimeConfig
 from repro.engine.runtime import RebalanceRecord
 from repro.reliability.checkpoint import CheckpointWave, WaveMode
@@ -44,16 +44,28 @@ class DefaultStormMigration(MigrationStrategy):
 
     def migrate(
         self,
-        new_plan: PlacementPlan,
+        new_plan: PlanInput,
         on_complete: Optional[Callable[[MigrationReport], None]] = None,
+        rescale: Optional[RescalePlan] = None,
     ) -> MigrationReport:
         report = self._new_report()
         self._on_complete = on_complete
+        self._stage_enactment(new_plan, rescale)
+
+        # A parallelism change is enacted the Storm way: immediately, with no
+        # drain.  The *last periodic* checkpoint is re-keyed ("state-send") to
+        # the new owners, in-flight events to re-partitioned instances are
+        # lost at the kill, and the acker replays their roots -- the same
+        # recovery path DSM already relies on for plain placement changes.
+        # The state-send's store latency overlaps the (much longer) rebalance
+        # and worker-restart window, so it is not awaited here.
+        self._enact_rescale()
+        resolved_plan = self._resolve_plan()
 
         # The rebalance is initiated immediately on the user request; the
         # consequences (lost events, stale state) are recovered afterwards.
         report.rebalance_started_at = self.runtime.sim.now
-        record = self.runtime.rebalance(new_plan, on_command_complete=self._after_rebalance_command)
+        record = self.runtime.rebalance(resolved_plan, on_command_complete=self._after_rebalance_command)
         report.rebalance_record = record
         return report
 

@@ -18,11 +18,18 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Type
+from typing import Callable, Dict, Optional, Type, Union
 
 from repro.cluster.placement import PlacementPlan
+from repro.dataflow.graph import RescalePlan
 from repro.engine.config import RuntimeConfig
-from repro.engine.runtime import RebalanceRecord, TopologyRuntime
+from repro.engine.runtime import RebalanceRecord, RescaleRecord, TopologyRuntime
+from repro.reliability.repartition import repartition_rescaled_tasks
+
+#: Placement input accepted by :meth:`MigrationStrategy.migrate`: either a
+#: ready plan, or a factory called *after* any rescale has been applied --
+#: necessary because a rescale changes the executor set the plan must cover.
+PlanInput = Union[PlacementPlan, Callable[[TopologyRuntime], PlacementPlan]]
 
 
 @dataclass
@@ -46,6 +53,7 @@ class MigrationReport:
     completed_at: Optional[float] = None
     checkpoint_id: Optional[int] = None
     rebalance_record: Optional[RebalanceRecord] = None
+    rescale_record: Optional[RescaleRecord] = None
     notes: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -101,10 +109,20 @@ class MigrationStrategy(ABC):
     @abstractmethod
     def migrate(
         self,
-        new_plan: PlacementPlan,
+        new_plan: PlanInput,
         on_complete: Optional[Callable[[MigrationReport], None]] = None,
+        rescale: Optional[RescalePlan] = None,
     ) -> MigrationReport:
-        """Enact the migration to ``new_plan``.
+        """Enact the migration to ``new_plan``, optionally rescaling parallelism.
+
+        ``new_plan`` is either a :class:`PlacementPlan` or a callable
+        ``runtime -> PlacementPlan`` invoked once any ``rescale`` has been
+        applied (a rescale changes the executor set the plan must place).
+        ``rescale`` gives per-task target instance counts enacted at the
+        strategy's safe point: DCR/CCR rescale after the COMMIT wave (state
+        freshly persisted, dataflow drained/captured); DSM rescales
+        immediately before its rebalance and lets the acker replay whatever
+        was lost.
 
         Returns the (initially incomplete) :class:`MigrationReport`, which is
         filled in asynchronously as the protocol progresses under the
@@ -116,6 +134,45 @@ class MigrationStrategy(ABC):
         report = MigrationReport(strategy=self.name, requested_at=self.runtime.sim.now)
         self.report = report
         return report
+
+    def _stage_enactment(self, new_plan: PlanInput, rescale: Optional[RescalePlan]) -> None:
+        """Validate and remember the placement input and optional rescale."""
+        if rescale is not None:
+            rescale.validate(self.runtime.dataflow)
+        self._plan_input: PlanInput = new_plan
+        self._rescale: Optional[RescalePlan] = rescale
+
+    def _enact_rescale(self) -> float:
+        """Apply the staged rescale (executors + statestore re-partitioning), if any.
+
+        Called by the concrete strategies at their safe point, immediately
+        before resolving the placement plan and rebalancing.  Returns the
+        modelled store latency of the state redistribution (0.0 when there
+        is nothing to rescale): DCR/CCR delay their rebalance by it, DSM
+        lets it overlap the worker-restart window (Storm-style background
+        state-send).
+        """
+        rescale = getattr(self, "_rescale", None)
+        if rescale is None or rescale.is_noop(self.runtime.dataflow):
+            return 0.0
+        record = self.runtime.apply_rescale(rescale)
+        store_latency_s = sum(
+            stats.store_latency_s for stats in repartition_rescaled_tasks(self.runtime, record)
+        )
+        if self.report is not None:
+            self.report.rescale_record = record
+            self.report.notes["rescaled_at"] = self.runtime.sim.now
+            self.report.notes["rescale_spawned"] = float(len(record.spawned))
+            self.report.notes["rescale_retired"] = float(len(record.retired))
+            self.report.notes["rescale_store_latency_s"] = store_latency_s
+        return store_latency_s
+
+    def _resolve_plan(self) -> PlacementPlan:
+        """Materialize the staged placement plan (post-rescale for factories)."""
+        plan_input = self._plan_input
+        if callable(plan_input):
+            return plan_input(self.runtime)
+        return plan_input
 
     def _finish(self) -> None:
         if self.report is not None and self.report.completed_at is None:

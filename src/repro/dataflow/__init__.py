@@ -16,9 +16,15 @@ parametric ``linear(n)`` used for the 50-task drain-time experiment.
 """
 
 from repro.dataflow.event import CheckpointAction, Event, EventKind
-from repro.dataflow.grouping import Grouping
+from repro.dataflow.grouping import Grouping, field_key_of, stable_field_index
 from repro.dataflow.task import SinkTask, SourceTask, Task, TaskKind
-from repro.dataflow.graph import Dataflow, DataflowValidationError, Edge
+from repro.dataflow.graph import (
+    Dataflow,
+    DataflowValidationError,
+    Edge,
+    RescalePlan,
+    exact_instance_ceiling,
+)
 from repro.dataflow.builder import TopologyBuilder
 from repro.dataflow import topologies
 
@@ -30,10 +36,14 @@ __all__ = [
     "Event",
     "EventKind",
     "Grouping",
+    "RescalePlan",
     "SinkTask",
     "SourceTask",
     "Task",
     "TaskKind",
     "TopologyBuilder",
+    "exact_instance_ceiling",
+    "field_key_of",
+    "stable_field_index",
     "topologies",
 ]

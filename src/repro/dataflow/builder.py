@@ -55,8 +55,14 @@ class TopologyBuilder:
         stateful: bool = False,
         logic: Optional[UserLogic] = None,
         state_size_bytes: int = 256,
+        capacity_ev_s: Optional[float] = None,
     ) -> "TopologyBuilder":
-        """Declare a processing task."""
+        """Declare a processing task.
+
+        ``capacity_ev_s`` optionally declares this task's per-instance service
+        capacity; auto-parallelism and the elastic planner then size it by its
+        own rate instead of the global 1-per-8-ev/s rule.
+        """
         self._add(
             Task(
                 name=name,
@@ -67,6 +73,7 @@ class TopologyBuilder:
                 stateful=stateful,
                 logic=logic,
                 state_size_bytes=state_size_bytes,
+                capacity_ev_s=capacity_ev_s,
             )
         )
         return self

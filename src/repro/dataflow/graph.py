@@ -10,8 +10,9 @@ critical path length, and total instance (slot) counts.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.dataflow.grouping import Grouping
 from repro.dataflow.task import SinkTask, SourceTask, Task, TaskKind
@@ -19,6 +20,75 @@ from repro.dataflow.task import SinkTask, SourceTask, Task, TaskKind
 
 class DataflowValidationError(ValueError):
     """Raised when a dataflow graph is structurally invalid."""
+
+
+def exact_instance_ceiling(rate_ev_s: float, capacity_ev_s: float) -> int:
+    """``ceil(rate / capacity)`` computed exactly on the rational rate.
+
+    Both operands are converted to exact rationals before dividing, so the
+    result never depends on float rounding: ``24.0 / 8.0`` is exactly 3
+    instances even when the float rate was accumulated through sums and
+    products that would have nudged it to ``24.000000000000004`` (the case
+    the old ``math.ceil(rate / cap - 1e-9)`` epsilon hack papered over,
+    at the cost of under-provisioning rates a hair above a multiple).
+    """
+    if capacity_ev_s <= 0:
+        raise ValueError("capacity_ev_s must be positive")
+    if rate_ev_s <= 0:
+        return 0
+    ratio = Fraction(rate_ev_s) / Fraction(capacity_ev_s)
+    return int(math.ceil(ratio))
+
+
+@dataclass(frozen=True)
+class RescalePlan:
+    """Per-task target instance counts for a runtime parallelism change.
+
+    The plan names only the tasks whose parallelism should change; every
+    migration strategy (DSM/DCR/CCR) can enact one mid-migration, rebuilding
+    the router's FIELDS key mapping and re-partitioning grouped task state to
+    the new instance set.  Validation is against a concrete dataflow because
+    only processing (user) tasks may be rescaled: sources and sinks live on
+    the dedicated util VM and are never migrated, let alone rescaled.
+    """
+
+    targets: Mapping[str, int] = field(default_factory=dict)
+
+    def validate(self, dataflow: "Dataflow") -> None:
+        """Raise :class:`DataflowValidationError` if the plan does not fit the dataflow."""
+        for task_name, parallelism in self.targets.items():
+            if task_name not in dataflow:
+                raise DataflowValidationError(
+                    f"rescale references unknown task {task_name!r} in dataflow {dataflow.name!r}"
+                )
+            task = dataflow.task(task_name)
+            if task.kind is not TaskKind.PROCESS:
+                raise DataflowValidationError(
+                    f"rescale target {task_name!r} is a {task.kind.value} task; "
+                    "only processing tasks can change parallelism"
+                )
+            if not isinstance(parallelism, int) or parallelism < 1:
+                raise DataflowValidationError(
+                    f"rescale target {task_name!r}: parallelism must be an int >= 1, "
+                    f"got {parallelism!r}"
+                )
+
+    def changes(self, dataflow: "Dataflow") -> Dict[str, Tuple[int, int]]:
+        """The ``task -> (old, new)`` pairs that actually differ, in name order."""
+        diff: Dict[str, Tuple[int, int]] = {}
+        for task_name in sorted(self.targets):
+            new = self.targets[task_name]
+            old = dataflow.task(task_name).parallelism
+            if new != old:
+                diff[task_name] = (old, new)
+        return diff
+
+    def is_noop(self, dataflow: "Dataflow") -> bool:
+        """Whether enacting the plan would change nothing."""
+        return not self.changes(dataflow)
+
+    def __len__(self) -> int:
+        return len(self.targets)
 
 
 @dataclass(frozen=True)
@@ -195,18 +265,38 @@ class Dataflow:
         emitted event is delivered on *each* outgoing edge (Storm semantics:
         downstream tasks each subscribe to the full stream), so a task's input
         rate is the sum of its upstream tasks' output rates.
+
+        Float view of :meth:`input_rates_exact` (one traversal, one rounding
+        step per task -- keeping the two representations in lock-step by
+        construction).
         """
-        rates: Dict[str, float] = {}
+        return {name: float(rate) for name, rate in self.input_rates_exact().items()}
+
+    def input_rates_exact(self) -> Dict[str, Fraction]:
+        """Steady-state input rates as exact rationals (no float accumulation).
+
+        Mirrors :meth:`input_rates` but carries every intermediate value as a
+        :class:`~fractions.Fraction`, so summed branch rates like
+        ``8 + 8 + 8`` are exactly ``24`` rather than a float that drifted a
+        few ulps above it.  Instance sizing uses this (see
+        :meth:`apply_auto_parallelism`) so provisioning never depends on
+        float rounding.
+        """
+        rates: Dict[str, Fraction] = {}
         for name in self._topo_order:
             task = self._tasks[name]
             if task.is_source:
-                rates[name] = float(getattr(task, "rate", 0.0))
+                rates[name] = Fraction(float(getattr(task, "rate", 0.0)))
                 continue
-            incoming = 0.0
+            incoming = Fraction(0)
             for pred in self._predecessors[name]:
                 pred_task = self._tasks[pred]
                 pred_rate = rates[pred]
-                out_rate = pred_rate if pred_task.is_source else pred_rate * pred_task.selectivity
+                out_rate = (
+                    pred_rate
+                    if pred_task.is_source
+                    else pred_rate * Fraction(pred_task.selectivity)
+                )
                 incoming += out_rate
             rates[name] = incoming
         return rates
@@ -238,17 +328,43 @@ class Dataflow:
             longest[name] = best_pred + own
         return max((longest[s.name] for s in self.sinks), default=0.0)
 
+    # ------------------------------------------------------------ parallelism
+    def set_parallelism(self, task_name: str, parallelism: int) -> None:
+        """Change a processing task's instance count, with validation.
+
+        Parallelism is a *mutable* property of the dataflow: the engine's
+        rescale machinery (see :meth:`TopologyRuntime.apply_rescale`) changes
+        it at runtime, spawning or retiring executors to match.  Sources and
+        sinks are fixed (they are pinned to the util VM and never migrated).
+        """
+        task = self.task(task_name)
+        if task.kind is not TaskKind.PROCESS:
+            raise DataflowValidationError(
+                f"cannot rescale {task.kind.value} task {task_name!r}; "
+                "only processing tasks have elastic parallelism"
+            )
+        if not isinstance(parallelism, int) or parallelism < 1:
+            raise DataflowValidationError(
+                f"task {task_name!r}: parallelism must be an int >= 1, got {parallelism!r}"
+            )
+        task.parallelism = parallelism
+
     def apply_auto_parallelism(self, events_per_instance: float = 8.0) -> None:
         """Set each user task's parallelism from its steady-state input rate.
 
         The paper assigns "one task instance (thread) for each incremental
-        8 events/sec input rate to a task".
+        8 events/sec input rate to a task".  Tasks that declare their own
+        ``capacity_ev_s`` are sized by it instead of the global rule
+        (heterogeneous task latencies).  The ceiling is computed exactly on
+        the rational rate (see :func:`exact_instance_ceiling`), so float noise
+        from summed branch rates can neither inflate nor deflate the count.
         """
         if events_per_instance <= 0:
             raise ValueError("events_per_instance must be positive")
-        rates = self.input_rates()
+        rates = self.input_rates_exact()
         for task in self.user_tasks:
-            task.parallelism = max(1, math.ceil(rates[task.name] / events_per_instance - 1e-9))
+            capacity = task.capacity_ev_s if task.capacity_ev_s is not None else events_per_instance
+            task.parallelism = max(1, exact_instance_ceiling(rates[task.name], capacity))
 
     def describe(self) -> str:
         """Human-readable multi-line description of the dataflow."""

@@ -77,6 +77,12 @@ class Task:
     state_size_bytes:
         Approximate serialized size of the task state, used by the state-store
         latency model when the state is persisted on COMMIT.
+    capacity_ev_s:
+        Optional per-instance service capacity (events/second) used when
+        sizing this task's parallelism.  ``None`` falls back to the global
+        1-instance-per-8-ev/s rule from Table 1 of the paper; setting it
+        models heterogeneous task latencies (a fast filter needs fewer
+        instances per ev/s than a heavy model-scoring task).
     """
 
     name: str
@@ -88,6 +94,7 @@ class Task:
     logic: Optional[UserLogic] = None
     initial_state: Callable[[], Dict[str, Any]] = field(default=dict)
     state_size_bytes: int = 256
+    capacity_ev_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -98,6 +105,8 @@ class Task:
             raise ValueError(f"task {self.name!r}: latency must be non-negative")
         if self.selectivity < 0:
             raise ValueError(f"task {self.name!r}: selectivity must be non-negative")
+        if self.capacity_ev_s is not None and self.capacity_ev_s <= 0:
+            raise ValueError(f"task {self.name!r}: capacity_ev_s must be positive when set")
         if self.logic is None:
             self.logic = default_logic(self.selectivity)
 

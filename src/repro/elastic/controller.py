@@ -12,7 +12,10 @@ has expired -- enacts the change:
 2. **plan** the new placement with the runtime's existing scheduler (user
    tasks onto the new VMs only; sources/sinks stay pinned);
 3. **migrate** with the configured, pluggable
-   :class:`~repro.core.strategy.MigrationStrategy` (DSM, DCR or CCR);
+   :class:`~repro.core.strategy.MigrationStrategy` (DSM, DCR or CCR) --
+   issuing a *combined rescale + migrate* decision when the planner runs
+   with ``elastic_parallelism`` (the strategy changes task instance counts
+   mid-protocol and the placement is planned against the new executor set);
 4. **deprovision** the vacated worker VMs once the protocol completes, so
    scale-in actually reduces the bill.
 
@@ -69,7 +72,8 @@ class ControllerConfig:
 class ScalingAction:
     """Bookkeeping for one enacted scaling decision."""
 
-    #: ``out`` (toward more, smaller VMs) or ``in`` (toward fewer, bigger VMs).
+    #: ``out`` (toward more capacity / smaller VMs) or ``in`` (toward less
+    #: capacity / bigger VMs).
     direction: str
     #: The tier the controller moved from / to.
     from_tier: str
@@ -151,8 +155,11 @@ class ElasticityController:
         if self._migration_in_flight or sample.sources_paused:
             return
 
-        target = self.planner.plan(sample.input_rate)
-        if target.tier == self.tier:
+        target = self.planner.plan(sample.input_rate, current_tier=self.tier)
+        # A change is pending when the tier moves *or* the demand calls for a
+        # parallelism change within the same tier (e.g. a second surge on an
+        # already-expanded deployment still has to add instances).
+        if target.tier == self.tier and target.rescale is None:
             self._pending_tier = None
             self._pending_count = 0
             return
@@ -170,7 +177,19 @@ class ElasticityController:
 
     # -------------------------------------------------------------- enactment
     def _enact(self, target: TargetAllocation, sample: MonitorSample) -> None:
-        direction = "out" if TIER_ORDER[target.tier] > TIER_ORDER[self.tier] else "in"
+        if target.tier != self.tier:
+            direction = "out" if TIER_ORDER[target.tier] > TIER_ORDER[self.tier] else "in"
+        else:
+            # Same-tier rescale: the direction is given by the slot delta.
+            # The delta cannot be zero here -- the planner only attaches a
+            # same-tier rescale when the pressure is out of band, which
+            # means the required slot count strictly differs from the
+            # deployed one.
+            direction = (
+                "out"
+                if target.hosted_slots > self.runtime.dataflow.total_instances()
+                else "in"
+            )
         action = ScalingAction(
             direction=direction,
             from_tier=self.tier,
@@ -204,13 +223,23 @@ class ElasticityController:
             for vm_id in sorted(self.runtime.placement.vms_used)
             if vm_id != self.runtime.util_vm_id and vm_id not in provisioned
         ]
-        new_plan = plan_user_tasks_on(self.runtime, action.provisioned_vm_ids)
         strategy = self.strategy_cls(self.runtime)
         action.enacted_at = self.runtime.sim.now
-        action.report = strategy.migrate(
-            new_plan,
-            on_complete=lambda report: self._migration_complete(action, old_vm_ids, report),
-        )
+        if action.target.rescale is not None:
+            # Combined rescale + migrate: the placement must be planned after
+            # the strategy has applied the parallelism change (the executor
+            # set it places does not exist yet), so pass a plan factory.
+            action.report = strategy.migrate(
+                lambda runtime: plan_user_tasks_on(runtime, action.provisioned_vm_ids),
+                on_complete=lambda report: self._migration_complete(action, old_vm_ids, report),
+                rescale=action.target.rescale,
+            )
+        else:
+            new_plan = plan_user_tasks_on(self.runtime, action.provisioned_vm_ids)
+            action.report = strategy.migrate(
+                new_plan,
+                on_complete=lambda report: self._migration_complete(action, old_vm_ids, report),
+            )
 
     def _migration_complete(
         self, action: ScalingAction, old_vm_ids: List[str], report: MigrationReport

@@ -14,20 +14,29 @@ less).  The planner applies the same arithmetic to a *measured* rate:
   -- ``expanded`` / ``baseline`` / ``consolidated`` -- with Table-1 style VM
   packing for the slots that must be hosted.
 
-The plan deliberately keeps the executor count fixed (the paper scopes
-parallelism changes out of the migration problem); elasticity here is about
-*which VMs* host the slots, which is exactly what DSM/DCR/CCR enact.
+By default the plan keeps the executor count fixed (the paper scopes
+parallelism changes out of the migration problem); elasticity is then about
+*which VMs* host the slots, which is exactly what DSM/DCR/CCR enact.  With
+``elastic_parallelism=True`` the planner goes beyond the paper's scoping: the
+per-task 1-per-``capacity`` arithmetic also yields a
+:class:`~repro.dataflow.graph.RescalePlan` of target instance counts, so a
+scale-out *adds processing capacity* instead of only spreading the same
+slots over more machines.  Per-task service rates (heterogeneous task
+latencies) are honoured: an explicit ``task_capacities_ev_s`` mapping wins,
+then a task's own ``capacity_ev_s``, then the global Table-1 default.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.cluster.placement import PlacementPlan
 from repro.cluster.vm import D1, D2, D3, VMType
-from repro.dataflow.graph import Dataflow
+from repro.dataflow.graph import Dataflow, RescalePlan, exact_instance_ceiling
+from repro.dataflow.task import Task
 from repro.engine.runtime import TopologyRuntime
 
 #: Allocation tiers in scale order (index comparisons give the direction).
@@ -48,6 +57,9 @@ class TargetAllocation:
     pressure: float
     #: VM flavour name -> count, e.g. ``{"D1": 13}``.
     vm_counts: Dict[str, int] = field(default_factory=dict)
+    #: Parallelism changes to enact with the migration (capacity-adding
+    #: scaling); ``None`` for the paper's placement-only scaling.
+    rescale: Optional[RescalePlan] = None
 
     @property
     def total_vms(self) -> int:
@@ -72,6 +84,8 @@ class AllocationPlanner:
         instance_capacity_ev_s: float = 8.0,
         expand_pressure: float = 1.2,
         consolidate_pressure: float = 0.95,
+        task_capacities_ev_s: Optional[Mapping[str, float]] = None,
+        elastic_parallelism: bool = False,
     ) -> None:
         if instance_capacity_ev_s <= 0:
             raise ValueError("instance_capacity_ev_s must be positive")
@@ -84,48 +98,117 @@ class AllocationPlanner:
         self.instance_capacity_ev_s = instance_capacity_ev_s
         self.expand_pressure = expand_pressure
         self.consolidate_pressure = consolidate_pressure
-        #: Steady-state per-task input rates at the declared source rates.
-        self._baseline_rates = dataflow.input_rates()
+        self.task_capacities_ev_s: Dict[str, float] = dict(task_capacities_ev_s or {})
+        for task_name, capacity in self.task_capacities_ev_s.items():
+            if task_name not in dataflow:
+                raise ValueError(f"task_capacities_ev_s references unknown task {task_name!r}")
+            if capacity <= 0:
+                raise ValueError(f"task_capacities_ev_s[{task_name!r}] must be positive")
+        self.elastic_parallelism = elastic_parallelism
+        #: Steady-state per-task input rates at the declared source rates,
+        #: carried as exact rationals (so is the summed source rate) so
+        #: instance counts never wobble on float noise.
+        self._baseline_rates_exact = dataflow.input_rates_exact()
         self._baseline_source_rate = sum(
-            self._baseline_rates[s.name] for s in dataflow.sources
+            (self._baseline_rates_exact[s.name] for s in dataflow.sources), Fraction(0)
         )
         if self._baseline_source_rate <= 0:
             raise ValueError("dataflow sources must declare a positive rate")
 
     # ------------------------------------------------------------------ rules
-    def required_instances(self, observed_rate_ev_s: float) -> int:
-        """Instances the paper's 1-per-``instance_capacity`` rule demands.
+    def capacity_for(self, task: Task) -> float:
+        """Per-instance service capacity (ev/s) used to size ``task``.
+
+        Resolution order: an explicit ``task_capacities_ev_s`` entry, the
+        task's own ``capacity_ev_s`` declaration, then the planner's global
+        default (the paper's Table-1 value of 8 ev/s).
+        """
+        explicit = self.task_capacities_ev_s.get(task.name)
+        if explicit is not None:
+            return explicit
+        if task.capacity_ev_s is not None:
+            return task.capacity_ev_s
+        return self.instance_capacity_ev_s
+
+    def required_instances_by_task(self, observed_rate_ev_s: float) -> Dict[str, int]:
+        """Per-task instance demand at the observed rate (1-per-capacity rule).
 
         Every user task's steady-state input rate is scaled by
         ``observed / baseline`` source rate; each task needs
-        ``ceil(rate / capacity)`` instances, at least one.
+        ``ceil(rate / capacity)`` instances (exact rational ceiling), at
+        least one.
         """
-        scale = max(0.0, observed_rate_ev_s) / self._baseline_source_rate
-        total = 0
+        scale = Fraction(max(0.0, observed_rate_ev_s)) / self._baseline_source_rate
+        required: Dict[str, int] = {}
         for task in self.dataflow.user_tasks:
-            task_rate = self._baseline_rates[task.name] * scale
-            total += max(1, int(math.ceil(task_rate / self.instance_capacity_ev_s)))
-        return total
+            task_rate = self._baseline_rates_exact[task.name] * scale
+            required[task.name] = max(1, exact_instance_ceiling(task_rate, self.capacity_for(task)))
+        return required
 
-    def plan(self, observed_rate_ev_s: float) -> TargetAllocation:
-        """Pick the allocation tier and VM packing for an observed rate."""
-        required = self.required_instances(observed_rate_ev_s)
+    def required_instances(self, observed_rate_ev_s: float) -> int:
+        """Total instances the 1-per-capacity rule demands at the observed rate."""
+        return sum(self.required_instances_by_task(observed_rate_ev_s).values())
+
+    def rescale_plan(self, observed_rate_ev_s: float) -> Optional[RescalePlan]:
+        """Parallelism changes needed to serve the observed rate, if any.
+
+        Returns ``None`` when every task's deployed instance count already
+        matches the demand.
+        """
+        return self._rescale_from(self.required_instances_by_task(observed_rate_ev_s))
+
+    def _rescale_from(self, required_by_task: Dict[str, int]) -> Optional[RescalePlan]:
+        targets = {
+            name: count
+            for name, count in required_by_task.items()
+            if self.dataflow.task(name).parallelism != count
+        }
+        if not targets:
+            return None
+        return RescalePlan(targets=targets)
+
+    def plan(self, observed_rate_ev_s: float, current_tier: Optional[str] = None) -> TargetAllocation:
+        """Pick the allocation tier and VM packing for an observed rate.
+
+        With ``elastic_parallelism`` enabled the allocation also carries the
+        :class:`RescalePlan` matching the demand whenever the pressure is
+        out of band -- including when the tier *label* does not change (a
+        second surge on an already-expanded deployment still adds capacity)
+        -- VM counts are sized for the *post-rescale* slot demand, and an
+        in-band pressure keeps ``current_tier`` (the deployed parallelism
+        already fits; there is nothing to enact).  Without it the behaviour
+        is exactly the paper's placement-only scaling.
+        """
+        required_by_task = self.required_instances_by_task(observed_rate_ev_s)
+        required = sum(required_by_task.values())
         hosted = self.dataflow.total_instances()
         pressure = required / hosted if hosted else 0.0
+        out_of_band = pressure >= self.expand_pressure or pressure <= self.consolidate_pressure
         if pressure >= self.expand_pressure:
             tier = "expanded"
         elif pressure <= self.consolidate_pressure:
             tier = "consolidated"
+        elif self.elastic_parallelism and current_tier in TIER_ORDER:
+            # Parallelism tracks demand, so an in-band pressure means the
+            # current deployment is correctly sized -- stay put rather than
+            # bouncing back to the "baseline" label after every rescale.
+            tier = current_tier
         else:
             tier = "baseline"
+        rescale: Optional[RescalePlan] = None
+        hosted_target = hosted
+        if self.elastic_parallelism and (tier != current_tier or out_of_band):
+            rescale = self._rescale_from(required_by_task)
+            hosted_target = required
         vm_type = self.TIER_VM_TYPES[tier]
-        vm_counts = {vm_type.name: int(math.ceil(hosted / vm_type.slots))}
+        vm_counts = {vm_type.name: int(math.ceil(hosted_target / vm_type.slots))}
         return TargetAllocation(
             tier=tier,
             required_instances=required,
-            hosted_slots=hosted,
+            hosted_slots=hosted_target,
             pressure=pressure,
             vm_counts=vm_counts,
+            rescale=rescale,
         )
 
 

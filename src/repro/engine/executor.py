@@ -37,6 +37,7 @@ from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.dataflow.event import CheckpointAction, Event, EventKind, next_event_id
 from repro.dataflow.task import SinkTask, SourceTask, Task
+from repro.reliability.statestore import checkpoint_key
 
 
 #: Virtual sender id used for control events injected by the checkpoint source.
@@ -398,7 +399,7 @@ class Executor:
             self._maybe_process()
 
     def _checkpoint_key(self) -> str:
-        return f"ckpt/{self.runtime.dataflow.name}/{self.executor_id}"
+        return checkpoint_key(self.runtime.dataflow.name, self.executor_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -35,24 +35,18 @@ of holding one heap entry per event.
 
 from __future__ import annotations
 
-import zlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cloud import NetworkModel
 from repro.dataflow.event import Event, EventKind, next_event_id
 from repro.dataflow.graph import Dataflow, Edge
-from repro.dataflow.grouping import Grouping
+from repro.dataflow.grouping import Grouping, field_key_of, stable_field_index
 
-
-def _stable_field_index(key: str, num_instances: int) -> int:
-    """Stable FIELDS-grouping instance index.
-
-    Uses CRC-32 rather than the builtin ``hash()``: string hashing is
-    randomized per process (``PYTHONHASHSEED``), which would send keyed
-    streams to different instances run-to-run and make placements and
-    figures irreproducible.
-    """
-    return zlib.crc32(key.encode("utf-8")) % num_instances
+#: Back-compat alias: the stable CRC-32 FIELDS hash lives in
+#: :mod:`repro.dataflow.grouping` so the state re-partitioner (reliability
+#: layer) can re-key grouped state with the exact same mapping the router
+#: uses for deliveries.
+_stable_field_index = stable_field_index
 
 
 class Router:
@@ -295,12 +289,7 @@ class Router:
 
     @staticmethod
     def _field_key(event: Event) -> str:
-        payload = event.payload
-        if isinstance(payload, dict):
-            for candidate in ("key", "id", "seq"):
-                if candidate in payload:
-                    return str(payload[candidate])
-        return str(payload)
+        return field_key_of(event.payload)
 
     # --------------------------------------------------------------- delivery
     def _delivery_time(self, sender_id: str, target_executor_id: str, now: float) -> float:

@@ -20,7 +20,7 @@ from repro.cluster.cloud import Cluster
 from repro.cluster.placement import PlacementPlan, placement_diff
 from repro.cluster.scheduler import RoundRobinScheduler, Scheduler
 from repro.dataflow.event import CheckpointAction, Event
-from repro.dataflow.graph import Dataflow
+from repro.dataflow.graph import Dataflow, RescalePlan
 from repro.dataflow.task import TaskKind
 from repro.engine.config import RuntimeConfig
 from repro.engine.executor import (
@@ -60,6 +60,27 @@ class RebalanceRecord:
         if not self.executor_ready_at:
             return self.command_completed_at
         return max(self.executor_ready_at.values())
+
+
+@dataclass
+class RescaleRecord:
+    """Bookkeeping for one enacted parallelism change."""
+
+    applied_at: float
+    #: task name -> (old parallelism, new parallelism), only tasks that changed.
+    changes: Dict[str, Tuple[int, int]]
+    #: Executor ids created by the rescale (they restore state via INIT).
+    spawned: List[str] = field(default_factory=list)
+    #: Executor ids retired by the rescale (killed, slots released).
+    retired: List[str] = field(default_factory=list)
+    #: Surviving instances of rescaled tasks: they must restart too, because
+    #: their in-memory keyed state belongs to the *old* FIELDS partitioning.
+    restarting: Set[str] = field(default_factory=set)
+
+    @property
+    def affected_tasks(self) -> List[str]:
+        """Names of the rescaled tasks, sorted."""
+        return sorted(self.changes)
 
 
 class TopologyRuntime:
@@ -103,6 +124,11 @@ class TopologyRuntime:
         self.placement: Optional[PlacementPlan] = None
         self.deployed = False
         self.rebalances: List[RebalanceRecord] = []
+        self.rescales: List[RescaleRecord] = []
+        # Survivors of a rescaled task that the next rebalance must restart
+        # even if their slot does not change (their in-memory state is keyed
+        # by the old instance count).
+        self._forced_restarts: Set[str] = set()
         self._util_vm_id: Optional[str] = None
         # Data events addressed to an executor that is currently restarting are
         # held here by the (reconnecting) transport and delivered once the
@@ -343,6 +369,75 @@ class TopologyRuntime:
             senders.add(CHECKPOINT_SOURCE_ID)
         return senders
 
+    # ---------------------------------------------------------------- rescale
+    def apply_rescale(self, plan: RescalePlan) -> RescaleRecord:
+        """Change task parallelism at runtime: spawn/retire executor instances.
+
+        For every task whose instance count changes, the runtime
+
+        * **retires** trailing instances on a shrink: they are killed, their
+          slots released and their ids removed from the current placement;
+        * **spawns** fresh instances on a grow (status STARTING); the next
+          rebalance places them and they initialize through the INIT wave;
+        * marks the surviving instances for a **forced restart** at the next
+          rebalance: their in-memory state was partitioned for the old
+          instance count, so they must restore from the re-partitioned
+          checkpoint like everyone else;
+        * invalidates the router's route plans, so FIELDS groupings re-key to
+          the new instance count, and drops retired executors from any
+          in-flight checkpoint waves (they can no longer acknowledge).
+
+        Migration strategies decide *when* this is safe to call (DCR/CCR:
+        after the COMMIT wave, with the dataflow drained/captured; DSM:
+        immediately, accepting the event loss its acker recovers).  The
+        statestore re-partitioning itself is a separate step
+        (:func:`repro.reliability.repartition.repartition_task_state`).
+        """
+        if not self.deployed or self.placement is None:
+            raise RuntimeError_("cannot rescale before deploy()")
+        plan.validate(self.dataflow)
+        changes = plan.changes(self.dataflow)
+        record = RescaleRecord(applied_at=self.sim.now, changes=changes)
+        for task_name in sorted(changes):
+            old_count, new_count = changes[task_name]
+            task = self.dataflow.task(task_name)
+            if new_count < old_count:
+                for index in range(new_count, old_count):
+                    executor_id = f"{task_name}#{index}"
+                    executor = self.executors.pop(executor_id, None)
+                    if executor is not None and executor.status is not ExecutorStatus.KILLED:
+                        executor.kill()
+                    for event, _sender in self._deferred_deliveries.pop(executor_id, []):
+                        self.log.record_drop(executor_id, event.kind.value, "retired", event.root_id)
+                    old_slot_id = self.placement.assignments.pop(executor_id, None)
+                    if old_slot_id is not None:
+                        try:
+                            self.cluster.find_slot(old_slot_id).release()
+                        except KeyError:
+                            pass
+                    self.log.record_lifecycle(executor_id, "retired")
+                    record.retired.append(executor_id)
+            else:
+                for index in range(old_count, new_count):
+                    executor_id = f"{task_name}#{index}"
+                    self.executors[executor_id] = Executor(executor_id, task, index, self)
+                    self.log.record_lifecycle(executor_id, "spawned")
+                    record.spawned.append(executor_id)
+            survivors = {f"{task_name}#{i}" for i in range(min(old_count, new_count))}
+            record.restarting |= survivors
+            self.dataflow.set_parallelism(task_name, new_count)
+        self._forced_restarts |= record.restarting
+        self.checkpoints.discard_executors(set(record.retired))
+        self._invalidate_executor_cache()
+        self.router.invalidate_caches()
+        self.rescales.append(record)
+        return record
+
+    @property
+    def last_rescale(self) -> Optional[RescaleRecord]:
+        """The most recent rescale record, if any."""
+        return self.rescales[-1] if self.rescales else None
+
     # --------------------------------------------------------------- rebalance
     def rebalance(
         self,
@@ -359,9 +454,26 @@ class TopologyRuntime:
         """
         if not self.deployed or self.placement is None:
             raise RuntimeError_("cannot rebalance before deploy()")
+        # Every live executor must be covered: an executor missing from the
+        # new plan would silently lose its placement and drop all deliveries
+        # forever -- the classic mistake being a plan computed *before* a
+        # rescale grew the executor set (pass a plan factory instead).
+        uncovered = sorted(set(self.executors) - set(new_plan.assignments))
+        if uncovered:
+            raise RuntimeError_(
+                f"rebalance plan does not place live executors {uncovered}; "
+                "plans must cover the current (post-rescale) executor set"
+            )
 
         migrating, staying, new_executors = placement_diff(self.placement, new_plan)
         migrating = set(migrating) | set(new_executors)
+        staying = set(staying)
+        # Survivors of a rescale restart even when their slot is unchanged:
+        # their in-memory state belongs to the old instance partitioning.
+        forced = self._forced_restarts & set(new_plan.assignments)
+        self._forced_restarts = set()
+        migrating |= forced
+        staying -= forced
         loaded = not self.sources_paused and self.ack_data_events
         record = RebalanceRecord(
             started_at=self.sim.now,

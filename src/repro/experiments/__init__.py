@@ -13,6 +13,10 @@ reproduced rows next to the paper's published values.
 :mod:`repro.experiments.elastic` goes beyond the paper's manual experiments:
 profile-driven sources plus the :mod:`repro.elastic` autoscaling loop, which
 triggers migrations automatically as the input rate changes.
+
+:mod:`repro.experiments.rescale` compares capacity-adding scale-out (runtime
+parallelism rescale during the migration) against the paper's placement-only
+scaling on the same surge profile.
 """
 
 from repro.experiments.scenarios import (
@@ -28,6 +32,11 @@ from repro.experiments.elastic import (
     ElasticScenarioSpec,
     run_elastic_experiment,
 )
+from repro.experiments.rescale import (
+    RescaleComparisonResult,
+    RescaleRunSummary,
+    run_rescale_experiment,
+)
 from repro.experiments.figures import ExperimentMatrix
 from repro.experiments.formatting import format_table
 
@@ -36,11 +45,14 @@ __all__ = [
     "ElasticScenarioSpec",
     "ExperimentMatrix",
     "MigrationRunResult",
+    "RescaleComparisonResult",
+    "RescaleRunSummary",
     "ScenarioSpec",
     "build_experiment",
     "format_table",
     "plan_after_scaling",
     "run_elastic_experiment",
     "run_migration_experiment",
+    "run_rescale_experiment",
     "vm_counts_for",
 ]

@@ -52,6 +52,9 @@ class ElasticScenarioSpec:
     profile: str = "surge"
     duration_s: float = 900.0
     seed: int = 2018
+    #: Whether the controller may change task parallelism (capacity-adding
+    #: scaling) instead of only repacking fixed slots (the paper's scoping).
+    elastic_parallelism: bool = False
 
 
 @dataclass
@@ -109,7 +112,13 @@ class ElasticRunResult:
 
 
 def _mix_seed(spec: ElasticScenarioSpec) -> int:
-    """Independent randomness per (dag, strategy, profile) cell, reproducibly."""
+    """Independent randomness per (dag, strategy, profile) cell, reproducibly.
+
+    The ``elastic_parallelism`` flag is deliberately *not* mixed in: the
+    capacity-adding and placement-only variants of the same cell share their
+    random streams, so comparisons between them isolate the rescale decision
+    itself.
+    """
     digest = hashlib.sha256(
         f"elastic:{spec.dag}:{spec.strategy}:{spec.profile}".encode("utf-8")
     ).digest()
@@ -128,6 +137,8 @@ def run_elastic_experiment(
     instance_capacity_ev_s: float = 8.0,
     provisioning_latency_s: float = 30.0,
     billing_granularity_s: float = 60.0,
+    elastic_parallelism: bool = False,
+    task_capacities_ev_s: Optional[dict] = None,
 ) -> ElasticRunResult:
     """Run one closed-loop elastic experiment.
 
@@ -136,6 +147,13 @@ def run_elastic_experiment(
     preset name or a :class:`RateProfile` instance), and the controller
     scales the deployment with the chosen strategy whenever the observed
     rate leaves the current tier's band.  Runs until ``duration_s``.
+
+    With ``elastic_parallelism=True`` the controller issues combined
+    rescale + migrate decisions: a scale-out adds task instances (real
+    capacity) instead of only repacking the same slots onto more VMs, and a
+    scale-in retires them.  Task parallelism of the supplied ``dataflow``
+    may then be mutated by the run.  ``task_capacities_ev_s`` optionally maps
+    task names to per-instance service rates for heterogeneous sizing.
     """
     # Hermetic run: event ids restart at 1 so results do not depend on what
     # else ran in this process (see run_migration_experiment for the DSM
@@ -143,7 +161,12 @@ def run_elastic_experiment(
     reset_event_ids()
     profile_name = profile if isinstance(profile, str) else type(profile).__name__
     spec = ElasticScenarioSpec(
-        dag=dag, strategy=strategy, profile=profile_name, duration_s=duration_s, seed=seed
+        dag=dag,
+        strategy=strategy,
+        profile=profile_name,
+        duration_s=duration_s,
+        seed=seed,
+        elastic_parallelism=elastic_parallelism,
     )
     strategy_cls = strategy_by_name(strategy)
     if config is None:
@@ -191,7 +214,12 @@ def run_elastic_experiment(
     util_vm.tags["role"] = "util"
     cluster.add_vm(util_vm)
 
-    planner = AllocationPlanner(dataflow, instance_capacity_ev_s=instance_capacity_ev_s)
+    planner = AllocationPlanner(
+        dataflow,
+        instance_capacity_ev_s=instance_capacity_ev_s,
+        task_capacities_ev_s=task_capacities_ev_s,
+        elastic_parallelism=elastic_parallelism,
+    )
     # Initial deployment is always the paper's default packing (Table 1: D2s),
     # whatever tier the profile's first rate will steer the controller toward.
     initial_count = int(math.ceil(dataflow.total_instances() / D2.slots))

@@ -13,6 +13,10 @@ These are the Storm capabilities the paper builds on:
   drives PREPARE / COMMIT / ROLLBACK / INIT waves, either periodically (DSM)
   or just-in-time during migration (DCR / CCR), sequentially along dataflow
   edges or broadcast directly to every task (CCR).
+* :mod:`repro.reliability.repartition` -- grouped-state re-partitioning for
+  runtime parallelism changes: re-keys checkpointed ``by_key`` state (and
+  CCR's captured pending events) to a rescaled task's new instance set using
+  the router's stable FIELDS hash.
 """
 
 from repro.reliability.acker import AckerService, AckerStats, PendingTree
@@ -22,17 +26,41 @@ from repro.reliability.checkpoint import (
     WaveMode,
     WaveStatus,
 )
-from repro.reliability.statestore import StateStore, StateStoreStats, StoredValue
+from repro.reliability.repartition import (
+    PARTITIONED_STATE_KEY,
+    RepartitionStats,
+    merge_states,
+    repartition_rescaled_tasks,
+    repartition_task_state,
+    split_pending_events,
+    split_state,
+    task_is_keyed,
+)
+from repro.reliability.statestore import (
+    StateStore,
+    StateStoreStats,
+    StoredValue,
+    checkpoint_key,
+)
 
 __all__ = [
     "AckerService",
     "AckerStats",
     "CheckpointCoordinator",
     "CheckpointWave",
+    "PARTITIONED_STATE_KEY",
     "PendingTree",
+    "RepartitionStats",
     "StateStore",
     "StateStoreStats",
     "StoredValue",
     "WaveMode",
     "WaveStatus",
+    "checkpoint_key",
+    "merge_states",
+    "repartition_rescaled_tasks",
+    "repartition_task_state",
+    "split_pending_events",
+    "split_state",
+    "task_is_keyed",
 ]

@@ -208,6 +208,25 @@ class CheckpointCoordinator:
         if wave.on_complete is not None:
             wave.on_complete(wave)
 
+    def discard_executors(self, executor_ids: Set[str]) -> None:
+        """Remove retired executors from every in-progress wave's expected set.
+
+        A rescale can retire executors while a wave (e.g. a periodic
+        checkpoint under DSM) is still collecting acknowledgments; without
+        this, the wave would wait forever on an executor that no longer
+        exists.  Waves whose remaining expectation is now fully acked are
+        completed immediately.
+        """
+        if not executor_ids:
+            return
+        for wave in list(self._waves.values()):
+            if wave.status is not WaveStatus.IN_PROGRESS:
+                continue
+            if wave.expected & executor_ids:
+                wave.expected -= executor_ids
+                if wave.complete:
+                    self._finish(wave)
+
     def cancel_wave(self, wave: CheckpointWave) -> None:
         """Abort a wave without completing it."""
         if wave.status is WaveStatus.IN_PROGRESS:

@@ -1,0 +1,228 @@
+"""Grouped-state re-partitioning for runtime parallelism changes (rescale).
+
+When a task's instance count changes mid-migration, the checkpointed state of
+its *old* instances must be redistributed to the *new* instances before the
+INIT wave restores them.  The contract mirrors how keyed state works in
+production DSPS engines (Storm's ``KeyValueState`` / Flink's keyed state):
+
+* entries under the reserved state key :data:`PARTITIONED_STATE_KEY`
+  (``"by_key"``) form a key -> value mapping partitioned by the **same stable
+  CRC-32 hash the router uses for FIELDS groupings**
+  (:func:`repro.dataflow.grouping.stable_field_index`).  After a rescale, the
+  entry for key ``k`` lives on instance ``crc32(k) % new_count`` -- exactly
+  where the router will deliver key ``k``'s future events, preserving
+  key -> instance affinity;
+* every other state entry is treated as a per-instance aggregate: numeric
+  values are **summed** across the old instances (a count of events seen stays
+  a correct global count) and the merged aggregates are assigned to instance
+  0; non-numeric entries are taken from the lowest-indexed old instance that
+  has them;
+* captured pending events (CCR) are re-routed to the instance that would now
+  receive them: by field key for FIELDS-grouped tasks, round-robin otherwise.
+
+The re-partitioner reads the old instances' committed checkpoints from the
+state store, writes the new instances' checkpoints, and deletes the stale
+keys, so the subsequent INIT wave restores every new instance from exactly
+the re-partitioned state.  The total modelled store latency (serial reads +
+writes) is reported in :class:`RepartitionStats`; DCR/CCR wait it out before
+issuing the rebalance, while DSM lets the state-send overlap its (much
+longer) worker-restart window, Storm-style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.dataflow.grouping import Grouping, field_key_of, stable_field_index
+from repro.reliability.statestore import StateStore, checkpoint_key
+
+#: Reserved state key whose dict value is partitioned by CRC-32 of entry key.
+PARTITIONED_STATE_KEY = "by_key"
+
+
+@dataclass
+class RepartitionStats:
+    """What one task's re-partitioning moved around."""
+
+    task: str
+    old_count: int
+    new_count: int
+    keyed_entries: int = 0
+    aggregate_entries: int = 0
+    pending_events: int = 0
+    #: New checkpoint values written, old keys deleted.
+    writes: int = 0
+    deletes: int = 0
+    #: Total modelled store latency of the re-partitioning (the coordinator
+    #: reads every old checkpoint, then writes every new one, serially).
+    store_latency_s: float = 0.0
+
+
+def merge_states(states: Sequence[Dict[str, Any]]) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Merge old per-instance states into ``(by_key, aggregates)``.
+
+    ``by_key`` is the union of every instance's partitioned dict -- the old
+    partitioning guarantees the key sets are disjoint, but a duplicate (e.g.
+    state written before FIELDS affinity was enforced) resolves to the
+    highest-indexed instance's value, deterministically.  ``aggregates`` sums
+    numeric entries and keeps the first-seen value for anything else.
+    """
+    by_key: Dict[str, Any] = {}
+    aggregates: Dict[str, Any] = {}
+    for state in states:
+        if not state:
+            continue
+        for key, value in state.items():
+            if key == PARTITIONED_STATE_KEY:
+                if isinstance(value, dict):
+                    by_key.update(value)
+                continue
+            if isinstance(value, bool):
+                # bools are ints in Python; treat them as flags, not counters.
+                if key not in aggregates:
+                    aggregates[key] = value
+            elif isinstance(value, (int, float)):
+                aggregates[key] = aggregates.get(key, 0) + value
+            elif key not in aggregates:
+                aggregates[key] = value
+    return by_key, aggregates
+
+
+def split_state(
+    by_key: Dict[str, Any], aggregates: Dict[str, Any], new_count: int
+) -> List[Dict[str, Any]]:
+    """Distribute merged state over ``new_count`` instances.
+
+    Instance ``i`` receives the ``by_key`` entries whose stable hash maps to
+    ``i``; the merged aggregates go to instance 0 (a task-level total has
+    exactly one owner, so it is neither lost nor double-counted).
+    """
+    if new_count < 1:
+        raise ValueError("new_count must be >= 1")
+    parts: List[Dict[str, Any]] = [{} for _ in range(new_count)]
+    if by_key:
+        partitions: List[Dict[str, Any]] = [{} for _ in range(new_count)]
+        for key, value in by_key.items():
+            partitions[stable_field_index(str(key), new_count)][key] = value
+        for index in range(new_count):
+            if partitions[index]:
+                parts[index][PARTITIONED_STATE_KEY] = partitions[index]
+    if aggregates:
+        parts[0].update(aggregates)
+    return parts
+
+
+def split_pending_events(
+    pending: Sequence[Any], new_count: int, keyed: bool
+) -> List[List[Any]]:
+    """Assign captured pending events (CCR) to their new owner instances.
+
+    FIELDS-grouped tasks route each event by its field key -- the same
+    mapping future live deliveries will use -- so replayed state updates land
+    on the instance that owns the key.  Non-keyed tasks spread the events
+    round-robin, preserving the original capture order within each instance.
+    """
+    buckets: List[List[Any]] = [[] for _ in range(new_count)]
+    for position, event in enumerate(pending):
+        if keyed:
+            index = stable_field_index(field_key_of(getattr(event, "payload", None)), new_count)
+        else:
+            index = position % new_count
+        buckets[index].append(event)
+    return buckets
+
+
+def repartition_task_state(
+    statestore: StateStore,
+    dataflow_name: str,
+    task: Any,
+    old_count: int,
+    new_count: int,
+    keyed: bool,
+) -> RepartitionStats:
+    """Re-key one rescaled task's checkpointed state to its new instance set.
+
+    Reads the committed checkpoints of the ``old_count`` instances, merges
+    and re-splits them per the module contract, writes one checkpoint per new
+    instance (paying the modelled write latency) and deletes stale keys, so
+    the INIT wave that follows the rebalance restores the new owners.
+    ``keyed`` should be true when the task has a FIELDS-grouped input edge
+    (captured pending events then re-route by field key).
+    """
+    stats = RepartitionStats(task=task.name, old_count=old_count, new_count=new_count)
+    old_values: List[Optional[Dict[str, Any]]] = []
+    checkpoint_id = 0
+    for index in range(old_count):
+        key = checkpoint_key(dataflow_name, f"{task.name}#{index}")
+        value = statestore.peek(key)
+        old_values.append(value)
+        if value is not None:
+            # Account the read through the store (stats + latency) -- the
+            # value itself was taken synchronously via peek above.
+            stats.store_latency_s += statestore.get(key)
+        if value and value.get("checkpoint_id"):
+            checkpoint_id = max(checkpoint_id, value["checkpoint_id"])
+    if not any(old_values):
+        # Nothing committed yet (e.g. DSM before its first periodic
+        # checkpoint): the new instances will initialize fresh.
+        return stats
+
+    states = [v.get("state") or {} for v in old_values if v]
+    pending: List[Any] = []
+    for value in old_values:
+        if value:
+            pending.extend(value.get("pending") or [])
+
+    by_key, aggregates = merge_states(states)
+    stats.keyed_entries = len(by_key)
+    stats.aggregate_entries = len(aggregates)
+    stats.pending_events = len(pending)
+
+    new_states = split_state(by_key, aggregates, new_count)
+    new_pending = split_pending_events(pending, new_count, keyed)
+
+    for index in range(new_count):
+        key = checkpoint_key(dataflow_name, f"{task.name}#{index}")
+        value = {
+            "state": new_states[index],
+            "pending": new_pending[index],
+            "checkpoint_id": checkpoint_id,
+        }
+        size = statestore.checkpoint_size_bytes(task.state_size_bytes, len(new_pending[index]))
+        stats.store_latency_s += statestore.put(key, value, size)
+        stats.writes += 1
+    for index in range(new_count, old_count):
+        if statestore.delete(checkpoint_key(dataflow_name, f"{task.name}#{index}")):
+            stats.deletes += 1
+    return stats
+
+
+def task_is_keyed(dataflow: Any, task_name: str) -> bool:
+    """Whether any input edge of ``task_name`` uses FIELDS grouping."""
+    return any(edge.grouping is Grouping.FIELDS for edge in dataflow.in_edges(task_name))
+
+
+def repartition_rescaled_tasks(runtime: Any, record: Any) -> List[RepartitionStats]:
+    """Re-partition every task changed by a :class:`RescaleRecord`.
+
+    Convenience wrapper the migration strategies call between
+    ``runtime.apply_rescale`` and the rebalance; ``runtime`` supplies the
+    statestore and the dataflow, ``record.changes`` the old/new counts.
+    The sum of the returned ``store_latency_s`` is the modelled time the
+    redistribution takes.
+    """
+    results: List[RepartitionStats] = []
+    for task_name in sorted(record.changes):
+        old_count, new_count = record.changes[task_name]
+        results.append(
+            repartition_task_state(
+                runtime.statestore,
+                runtime.dataflow.name,
+                runtime.dataflow.task(task_name),
+                old_count,
+                new_count,
+                keyed=task_is_keyed(runtime.dataflow, task_name),
+            )
+        )
+    return results

@@ -19,6 +19,16 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.sim import Simulator
 
 
+def checkpoint_key(dataflow_name: str, executor_id: str) -> str:
+    """Canonical state-store key an executor's checkpoint lives under.
+
+    Shared by the executor's COMMIT/INIT path and the rescale
+    re-partitioner: both must address exactly the same keys, or a rescale
+    would silently restore fresh state.
+    """
+    return f"ckpt/{dataflow_name}/{executor_id}"
+
+
 @dataclass
 class StoredValue:
     """A value held by the store, with versioning for repeated commits."""
