@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Chart the engine-benchmark trend and warn on slow cumulative drift.
+
+Reads ``results/BENCH_trend.json`` (grown one entry per run by
+``benchmarks/accumulate_trend.py``) and renders ``results/BENCH_trend.svg``:
+one indexed line per benchmark, every run's mean normalized to that
+benchmark's *first* recorded mean, so drift is read directly off a common
+1.0 baseline (two measures of different absolute scale never share an axis
+otherwise).
+
+The CI regression gate (``check_perf_regression.py``) only catches >2x
+cliffs against the committed baseline; this script closes the gap for slow
+drift: any benchmark whose latest mean has crept more than ``--threshold``
+(default 20%) above its first trend entry gets a warning — emitted as a
+GitHub Actions ``::warning::`` annotation when running in CI, plain text
+otherwise.  Exit code stays 0 unless ``--fail-on-drift`` is passed (the
+artifact is a tripwire, not a gate).
+
+The chart is a static SVG artifact (no script, renders anywhere GitHub
+shows artifacts).  Colors are the validated default categorical palette
+(slots in fixed order, light surface); series identity is carried by the
+legend *and* direct end-of-line labels, never by color alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_TREND = HERE.parent / "results" / "BENCH_trend.json"
+DEFAULT_SVG = HERE.parent / "results" / "BENCH_trend.svg"
+
+#: Validated categorical palette (light mode), fixed slot order — the order is
+#: the colorblind-safety mechanism, so series are assigned in sequence, never
+#: cycled or re-sorted.
+PALETTE = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4", "#008300", "#4a3aa7", "#e34948"]
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#e4e3df"
+
+WIDTH, HEIGHT = 960, 420
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 64, 250, 56, 44
+
+
+def load_trend(path: Path) -> List[dict]:
+    """Load the trend entries (oldest first); [] when absent/unreadable."""
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        return []
+    return data if isinstance(data, list) else []
+
+
+def indexed_series(trend: List[dict]) -> Dict[str, List[Optional[float]]]:
+    """Per-benchmark relative means (first recorded mean = 1.0), one per entry.
+
+    A benchmark missing from some entry contributes ``None`` there (gap in
+    the line), so renamed or newly added benchmarks never shift the others.
+    """
+    names: List[str] = []
+    for entry in trend:
+        for name in entry.get("benchmarks", {}):
+            if name not in names:
+                names.append(name)
+    series: Dict[str, List[Optional[float]]] = {}
+    for name in names:
+        base: Optional[float] = None
+        values: List[Optional[float]] = []
+        for entry in trend:
+            stats = entry.get("benchmarks", {}).get(name)
+            mean = stats.get("mean_s") if stats else None
+            if mean is None or mean <= 0:
+                values.append(None)
+                continue
+            if base is None:
+                base = mean
+            values.append(mean / base)
+        series[name] = values
+    return series
+
+
+def drift_report(series: Dict[str, List[Optional[float]]], threshold: float) -> List[Tuple[str, float]]:
+    """Benchmarks whose latest relative mean exceeds ``1 + threshold``."""
+    drifted = []
+    for name, values in series.items():
+        present = [v for v in values if v is not None]
+        if len(present) >= 2 and present[-1] > 1.0 + threshold:
+            drifted.append((name, present[-1]))
+    return sorted(drifted, key=lambda item: -item[1])
+
+
+def _polyline(values: List[Optional[float]], x_of, y_of) -> List[str]:
+    """SVG path fragments for a series, split at gaps."""
+    paths: List[str] = []
+    run: List[str] = []
+    for i, value in enumerate(values):
+        if value is None:
+            if len(run) > 1:
+                paths.append("M" + " L".join(run))
+            run = []
+            continue
+        run.append(f"{x_of(i):.1f},{y_of(value):.1f}")
+    if len(run) > 1:
+        paths.append("M" + " L".join(run))
+    elif len(run) == 1:
+        paths.append("M" + run[0] + " L" + run[0])  # single point: dot-length stroke
+    return paths
+
+
+def render_svg(series: Dict[str, List[Optional[float]]], threshold: float, runs: int) -> str:
+    """Render the indexed trend chart as a standalone SVG document."""
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+    finite = [v for values in series.values() for v in values if v is not None]
+    y_max = max(1.0 + threshold, max(finite, default=1.0)) * 1.08
+    y_min = min(1.0, min(finite, default=1.0)) * 0.92
+    x_max = max(1, runs - 1)
+
+    def x_of(i: int) -> float:
+        return MARGIN_L + plot_w * (i / x_max)
+
+    def y_of(v: float) -> float:
+        return MARGIN_T + plot_h * (1.0 - (v - y_min) / (y_max - y_min))
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" '
+        f'viewBox="0 0 {WIDTH} {HEIGHT}" font-family="system-ui, sans-serif">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="{SURFACE}"/>',
+        f'<text x="{MARGIN_L}" y="24" font-size="15" font-weight="600" fill="{TEXT_PRIMARY}">'
+        f'Engine benchmark trend</text>',
+        f'<text x="{MARGIN_L}" y="42" font-size="12" fill="{TEXT_SECONDARY}">'
+        f'mean runtime per run, indexed to each benchmark’s first entry (1.0 = no change; '
+        f'{runs} runs)</text>',
+    ]
+
+    # Recessive horizontal grid at sensible relative steps.
+    step = 0.1 if y_max - y_min <= 0.8 else 0.25
+    tick = round(y_min / step) * step
+    while tick <= y_max:
+        if y_min <= tick <= y_max:
+            y = y_of(tick)
+            parts.append(f'<line x1="{MARGIN_L}" y1="{y:.1f}" x2="{MARGIN_L + plot_w}" '
+                         f'y2="{y:.1f}" stroke="{GRID}" stroke-width="1"/>')
+            parts.append(f'<text x="{MARGIN_L - 8}" y="{y + 4:.1f}" font-size="11" '
+                         f'text-anchor="end" fill="{TEXT_SECONDARY}">{tick:.2f}x</text>')
+        tick = round(tick + step, 10)
+
+    # The drift threshold, as a dashed reference line.
+    y_thr = y_of(1.0 + threshold)
+    parts.append(f'<line x1="{MARGIN_L}" y1="{y_thr:.1f}" x2="{MARGIN_L + plot_w}" y2="{y_thr:.1f}" '
+                 f'stroke="{TEXT_SECONDARY}" stroke-width="1" stroke-dasharray="5 4"/>')
+    parts.append(f'<text x="{MARGIN_L + plot_w}" y="{y_thr - 5:.1f}" font-size="11" '
+                 f'text-anchor="end" fill="{TEXT_SECONDARY}">drift threshold '
+                 f'{1.0 + threshold:.1f}x</text>')
+
+    # Series lines (2px) with direct end labels; legend swatches on the right.
+    legend_y = MARGIN_T + 8
+    for index, (name, values) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        for path in _polyline(values, x_of, y_of):
+            parts.append(f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2" '
+                         f'stroke-linecap="round" stroke-linejoin="round"/>')
+        parts.append(f'<rect x="{MARGIN_L + plot_w + 16}" y="{legend_y - 9}" width="10" '
+                     f'height="10" rx="2" fill="{color}"/>')
+        last = next((v for v in reversed(values) if v is not None), None)
+        label = f"{name} ({last:.2f}x)" if last is not None else name
+        parts.append(f'<text x="{MARGIN_L + plot_w + 32}" y="{legend_y}" font-size="11" '
+                     f'fill="{TEXT_PRIMARY}">{label}</text>')
+        legend_y += 18
+
+    # X axis: run index, first/last labeled.
+    axis_y = MARGIN_T + plot_h
+    parts.append(f'<line x1="{MARGIN_L}" y1="{axis_y}" x2="{MARGIN_L + plot_w}" y2="{axis_y}" '
+                 f'stroke="{TEXT_SECONDARY}" stroke-width="1"/>')
+    parts.append(f'<text x="{MARGIN_L}" y="{axis_y + 18}" font-size="11" '
+                 f'fill="{TEXT_SECONDARY}">run 1</text>')
+    parts.append(f'<text x="{MARGIN_L + plot_w}" y="{axis_y + 18}" font-size="11" '
+                 f'text-anchor="end" fill="{TEXT_SECONDARY}">run {runs}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trend", type=Path, default=DEFAULT_TREND,
+                        help="trend JSON produced by accumulate_trend.py")
+    parser.add_argument("--svg", type=Path, default=DEFAULT_SVG,
+                        help="output SVG path")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="cumulative drift fraction that triggers a warning (0.20 = +20%%)")
+    parser.add_argument("--fail-on-drift", action="store_true",
+                        help="exit 1 when any benchmark exceeds the threshold")
+    args = parser.parse_args()
+
+    trend = load_trend(args.trend)
+    if not trend:
+        print(f"chart_trend: no trend data at {args.trend}; nothing to chart")
+        return 0
+
+    series = indexed_series(trend)
+    svg = render_svg(series, args.threshold, runs=len(trend))
+    args.svg.parent.mkdir(parents=True, exist_ok=True)
+    args.svg.write_text(svg, encoding="utf-8")
+    print(f"chart_trend: wrote {args.svg} ({len(series)} benchmarks, {len(trend)} runs)")
+
+    drifted = drift_report(series, args.threshold)
+    in_ci = bool(os.environ.get("GITHUB_ACTIONS"))
+    for name, relative in drifted:
+        message = (f"benchmark '{name}' has drifted to {relative:.2f}x its first trend entry "
+                   f"(threshold {1.0 + args.threshold:.2f}x) — slow regression creep")
+        print(f"::warning title=Benchmark drift::{message}" if in_ci else f"WARNING: {message}")
+    if drifted and args.fail_on_drift:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,5 +44,5 @@ def test_fig6_replayed_messages(benchmark, matrix, scaling):
     # DCR and CCR replay nothing (checked from the same experiment matrix).
     for dag in counts:
         for strategy in ("dcr", "ccr"):
-            result = matrix.run(dag, strategy, scaling)
-            assert result.metrics.replayed_message_count == 0, (dag, strategy)
+            cell = matrix.cell(dag, strategy, scaling)
+            assert cell.metrics.replayed_message_count == 0, (dag, strategy)

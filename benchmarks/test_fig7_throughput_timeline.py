@@ -53,15 +53,15 @@ def test_fig7_throughput_timeline(benchmark, matrix):
 
     # Output gap during the restore for every strategy.
     for strategy, data in series.items():
-        restore = matrix.run("grid", strategy, "in").metrics.restore_duration_s
+        restore = matrix.cell("grid", strategy, "in").metrics.restore_duration_s
         gap = _rates_between(data["output"], 12.0, max(15.0, restore - 3.0))
         if gap:
             assert max(gap) == 0.0, strategy
 
     # DSM's output is still disturbed (zero or far from stable) well after
     # CCR has already restored its output.
-    ccr_restore = matrix.run("grid", "ccr", "in").metrics.restore_duration_s
-    dsm_restore = matrix.run("grid", "dsm", "in").metrics.restore_duration_s
+    ccr_restore = matrix.cell("grid", "ccr", "in").metrics.restore_duration_s
+    dsm_restore = matrix.cell("grid", "dsm", "in").metrics.restore_duration_s
     assert dsm_restore > ccr_restore + 20.0
 
     # After CCR's restore, its output comes back up.

@@ -62,5 +62,5 @@ def test_fig8_stabilization(benchmark, matrix, scaling):
     for (dag, strategy), stabilization in cells.items():
         if stabilization is None:
             continue
-        restore = matrix.run(dag, strategy, scaling).metrics.restore_duration_s
+        restore = matrix.cell(dag, strategy, scaling).metrics.restore_duration_s
         assert stabilization >= restore - 10.0, (dag, strategy)

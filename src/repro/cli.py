@@ -6,8 +6,9 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro experiment --dag grid --strategy ccr --scaling in
     python -m repro elastic --dag traffic --strategy ccr --profile surge
     python -m repro rescale --dag grid --strategy ccr --surge 2.0
+    python -m repro multi --dags traffic,grid --strategy ccr
     python -m repro figure table1
-    python -m repro figure fig5 --scaling out
+    python -m repro figure fig5 --scaling out --jobs 4
     python -m repro figure drain
     python -m repro figure statestore
 
@@ -16,10 +17,13 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 monitor, planner and controller) and prints the scaling timeline plus the
 cloud bill; ``rescale`` rides one surge twice -- once with capacity-adding
 parallelism rescale, once with the paper's placement-only scaling -- and
-prints the side-by-side latency/backlog comparison; ``figure`` regenerates
-one of the paper's tables/figures (the
-same drivers the benchmark harness uses) and prints the reproduced rows next
-to the paper's published values.
+prints the side-by-side latency/backlog comparison; ``multi`` hosts several
+dataflows as tenants of one shared, budget-arbitrated fleet (offset surges)
+and compares every tenant against its private-fleet baseline; ``figure``
+regenerates one of the paper's tables/figures (the same drivers the
+benchmark harness uses, ``--jobs N`` fans the experiment matrix out across
+processes) and prints the reproduced rows next to the paper's published
+values.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from repro.elastic import ControllerConfig
 from repro.experiments import (
     run_elastic_experiment,
     run_migration_experiment,
+    run_multi_experiment,
     run_rescale_experiment,
 )
 from repro.experiments.figures import (
@@ -210,6 +215,77 @@ def _cmd_rescale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_multi(args: argparse.Namespace) -> int:
+    if args.duration <= 0:
+        print("repro multi: error: --duration must be positive", file=sys.stderr)
+        return 2
+    dags = [d.strip() for d in args.dags.split(",") if d.strip()]
+    unknown = [d for d in dags if d not in topologies.ALL_TOPOLOGIES]
+    if unknown:
+        print(f"repro multi: error: unknown dataflow(s) {unknown}; choose from "
+              f"{sorted(topologies.ALL_TOPOLOGIES)}", file=sys.stderr)
+        return 2
+    priorities = None
+    if args.priorities:
+        try:
+            priorities = [int(p) for p in args.priorities.split(",")]
+        except ValueError:
+            print("repro multi: error: --priorities must be comma-separated integers",
+                  file=sys.stderr)
+            return 2
+        if len(priorities) != len(dags):
+            print(f"repro multi: error: --priorities needs {len(dags)} entries",
+                  file=sys.stderr)
+            return 2
+    result = run_multi_experiment(
+        dags=dags,
+        strategy=args.strategy,
+        duration_s=args.duration,
+        surge_multiplier=args.surge,
+        seed=args.seed,
+        budget_slots=args.budget,
+        priorities=priorities,
+        elastic_parallelism=not args.placement_only,
+        include_private_baseline=not args.no_baseline,
+    )
+    shared = result.shared
+
+    print(f"Multi-tenant run: {len(dags)} dataflows / {args.strategy} on one shared fleet "
+          f"({args.duration:.0f}s simulated, {args.surge:g}x offset surges, "
+          f"budget {shared.budget_slots} worker slots)")
+    print()
+    rows = []
+    for name, summary in shared.tenants.items():
+        row = summary.as_dict()
+        start, end = result.surge_windows[name]
+        row["surge"] = f"{start:.0f}-{end:.0f}s"
+        ratio = result.latency_ratio(name)
+        row["vs_private"] = f"{ratio:.2f}x" if ratio is not None else "-"
+        rows.append(row)
+    print(format_table(rows, title="Tenants (latency vs. each tenant alone on a private fleet)"))
+    print()
+
+    print("Arbitration:")
+    for record in shared.manager.arbiter.log:
+        verdict = "granted " if record.granted else f"deferred ({record.reason})"
+        print(f"  t={record.time:7.1f}s {record.tenant_id:14s} scale-{record.direction:3s} "
+              f"{record.slots_requested:3d} slots  {verdict}")
+    print(f"  peak committed slots: {shared.max_committed_slots} / {shared.budget_slots} budget; "
+          f"max concurrent migrations: {shared.max_concurrent_migrations()}")
+    print()
+
+    print("Fleet (shared vs. sum of private fleets):")
+    print(f"  mean worker slots   {shared.mean_worker_slots:8.1f}"
+          + (f"  vs {result.private_mean_worker_slots:8.1f} private" if result.private else ""))
+    util = f"  mean utilization    {shared.mean_utilization:8.1%}"
+    if result.private and result.private_mean_utilization is not None:
+        util += f"  vs {result.private_mean_utilization:8.1%} private"
+    print(util)
+    print(f"  total cost          {shared.total_cost:8.4f}"
+          + (f"  vs {result.private_total_cost:8.4f} private" if result.private else ""))
+    return 0
+
+
 def _matrix(args: argparse.Namespace) -> ExperimentMatrix:
     return ExperimentMatrix(
         migrate_at_s=args.migrate_at,
@@ -233,6 +309,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         return 0
 
     matrix = _matrix(args)
+    if args.jobs != 1:
+        # Fan the hermetic experiment matrix out across processes; only the
+        # cells the requested figure reads are computed.
+        scalings = ("in", "out") if name == "rebalance" else (args.scaling,)
+        dags = [args.dag] if name in ("fig7", "fig9") else None
+        strategies = ["dsm"] if name == "fig6" else None
+        matrix.prefetch(scalings=scalings, processes=args.jobs or None,
+                        dags=dags, strategies=strategies)
     if name == "fig5":
         print(format_table(figure5_rows(matrix, args.scaling), title=f"Fig. 5 scale-{args.scaling}"))
     elif name == "fig6":
@@ -277,7 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.set_defaults(func=_cmd_experiment)
 
     elastic = sub.add_parser("elastic", help="run a closed-loop autoscaling experiment")
-    elastic.add_argument("--dag", default="traffic", choices=sorted(topologies.PAPER_TOPOLOGIES))
+    elastic.add_argument("--dag", default="traffic", choices=sorted(topologies.ALL_TOPOLOGIES))
     elastic.add_argument("--strategy", default="ccr", choices=("dsm", "dcr", "ccr"))
     elastic.add_argument("--profile", default="surge", choices=sorted(PROFILE_PRESETS))
     elastic.add_argument("--duration", type=float, default=900.0,
@@ -295,7 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
         "rescale",
         help="compare capacity-adding rescale vs placement-only scaling on one surge",
     )
-    rescale.add_argument("--dag", default="grid", choices=sorted(topologies.PAPER_TOPOLOGIES))
+    rescale.add_argument("--dag", default="grid", choices=sorted(topologies.ALL_TOPOLOGIES))
     rescale.add_argument("--strategy", default="ccr", choices=("dsm", "dcr", "ccr"))
     rescale.add_argument("--surge", type=float, default=2.0,
                          help="surge multiplier applied to the baseline source rate")
@@ -303,6 +387,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="total simulated run time (seconds); the surge spans 25%%-60%% of it")
     rescale.add_argument("--seed", type=int, default=2018)
     rescale.set_defaults(func=_cmd_rescale)
+
+    multi = sub.add_parser(
+        "multi",
+        help="run several dataflows on one shared, budget-arbitrated fleet",
+    )
+    multi.add_argument("--dags", default="traffic,grid",
+                       help="comma-separated tenant dataflows (paper DAGs or keyed variants)")
+    multi.add_argument("--strategy", default="ccr", choices=("dsm", "dcr", "ccr"))
+    multi.add_argument("--duration", type=float, default=600.0,
+                       help="total simulated run time (seconds)")
+    multi.add_argument("--surge", type=float, default=2.0,
+                       help="surge multiplier for each tenant's offset rush hour")
+    multi.add_argument("--budget", type=int, default=None,
+                       help="cluster-wide worker-slot budget (default: co-located fleet "
+                            "plus one expanded tenant)")
+    multi.add_argument("--priorities", default="",
+                       help="comma-separated tenant priorities, higher wins (default: all equal)")
+    multi.add_argument("--placement-only", action="store_true", dest="placement_only",
+                       help="restrict tenants to the paper's placement-only scaling "
+                            "(default: capacity-adding parallelism rescale, which actually "
+                            "absorbs the surges)")
+    multi.add_argument("--no-baseline", action="store_true", dest="no_baseline",
+                       help="skip the per-tenant private-fleet baseline runs")
+    multi.add_argument("--seed", type=int, default=2018)
+    multi.set_defaults(func=_cmd_multi)
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's tables/figures")
     figure.add_argument("name", choices=("table1", "fig5", "fig6", "fig7", "fig8", "fig9",
@@ -313,6 +422,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--migrate-at", type=float, default=90.0, dest="migrate_at")
     figure.add_argument("--duration", type=float, default=540.0)
     figure.add_argument("--seed", type=int, default=2018)
+    figure.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the experiment matrix "
+                             "(0 = one per CPU core; cells are hermetic, results identical)")
     figure.set_defaults(func=_cmd_figure)
     return parser
 

@@ -4,12 +4,21 @@ A :class:`PlacementPlan` is the output of a scheduler and the input to both
 initial deployment and rebalance.  Migration strategies do not compute plans
 themselves (the paper explicitly scopes resource allocation out); they enact a
 plan that has already been decided.
+
+This module also owns **shared-fleet bin-packing**
+(:func:`bin_pack_plan`): on a multi-tenant cluster several dataflows share
+one VM fleet, so a new tenant's executors co-locate on partially filled VMs
+instead of each tenant getting fresh machines.  Slots already occupied by
+another tenant's executors are never reassigned.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cloud imports vm only)
+    from repro.cluster.cloud import Cluster
 
 
 @dataclass
@@ -63,6 +72,87 @@ class PlacementPlan:
     def copy(self) -> "PlacementPlan":
         """Deep-enough copy of the plan."""
         return PlacementPlan(assignments=dict(self.assignments), slot_to_vm=dict(self.slot_to_vm))
+
+
+class PackingError(ValueError):
+    """Raised when a bin-packing request cannot be satisfied."""
+
+
+def place_pinned(
+    plan: PlacementPlan,
+    pinned: Mapping[str, str],
+    cluster: "Cluster",
+    used_slots: Set[str],
+) -> None:
+    """Place pinned executors on free slots of their designated VMs.
+
+    The one shared implementation behind every scheduler *and* the
+    bin-packer: occupancy-aware (a slot another executor holds is never
+    reused) and plan-aware (slots taken earlier in this plan are skipped).
+    Raises :class:`PackingError`; scheduler callers re-wrap it.
+    """
+    for executor_id, vm_id in pinned.items():
+        if vm_id not in cluster:
+            raise PackingError(f"pinned VM {vm_id} for executor {executor_id} is not in the cluster")
+        vm = cluster.vm(vm_id)
+        slot = next(
+            (s for s in vm.slots if not s.occupied and s.slot_id not in used_slots), None
+        )
+        if slot is None:
+            raise PackingError(f"no free slot on pinned VM {vm_id} for executor {executor_id}")
+        plan.assign(executor_id, slot.slot_id, vm_id)
+        used_slots.add(slot.slot_id)
+
+
+def bin_pack_plan(
+    executor_ids: Sequence[str],
+    cluster: "Cluster",
+    pinned: Optional[Mapping[str, str]] = None,
+    exclude_vms: Optional[Iterable[str]] = None,
+) -> PlacementPlan:
+    """Pack executors onto a shared fleet, preferring partially filled VMs.
+
+    The multi-tenant placement rule: eligible VMs are visited *partially
+    filled first* (a VM that already hosts someone else's executors but still
+    has free slots), then empty ones, each filled completely before moving
+    on — so co-located tenants consolidate onto as few machines as possible
+    instead of each spreading over a fresh fleet.  Within each class the
+    cluster's insertion order is kept, so the packing is deterministic.
+
+    Only genuinely free slots are used: a slot occupied by *any* executor
+    (this tenant's or another's) is never reassigned.  ``pinned`` forces
+    specific executors onto free slots of specific VMs (source/sink util
+    hosts); ``exclude_vms`` bars VMs from receiving unpinned executors
+    (util VMs, VMs another tenant is about to deprovision).
+
+    Raises :class:`PackingError` when the fleet cannot host the request.
+    """
+    plan = PlacementPlan()
+    used_slots: Set[str] = set()
+    pinned = dict(pinned or {})
+    excluded = set(exclude_vms or [])
+
+    place_pinned(plan, pinned, cluster, used_slots)
+
+    eligible = [vm for vm in cluster.vms if vm.vm_id not in excluded]
+    # Partially filled VMs first (stable within each class), empty VMs last.
+    eligible.sort(key=lambda vm: 0 if vm.occupied_slots else 1)
+
+    unpinned = [e for e in executor_ids if e not in pinned]
+    free = [
+        (vm, slot)
+        for vm in eligible
+        for slot in vm.slots
+        if not slot.occupied and slot.slot_id not in used_slots
+    ]
+    if len(unpinned) > len(free):
+        raise PackingError(
+            f"shared fleet cannot host {len(unpinned)} executors: only {len(free)} free slots"
+        )
+    for executor_id, (vm, slot) in zip(unpinned, free):
+        plan.assign(executor_id, slot.slot_id, vm.vm_id)
+        used_slots.add(slot.slot_id)
+    return plan
 
 
 def placement_diff(old: PlacementPlan, new: PlacementPlan) -> Tuple[Set[str], Set[str], Set[str]]:

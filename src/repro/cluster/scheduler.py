@@ -9,15 +9,23 @@ the paper's reference [3]) as an alternative baseline for ablations.
 Executors may be *pinned* to a specific VM: the paper pins the source and sink
 tasks to a dedicated 4-slot VM that never migrates, so end-to-end statistics
 can be logged without clock skew.
+
+All schedulers are **occupancy-aware**: a slot that already hosts an executor
+is never handed out.  On a single-tenant cluster this is a no-op (deploys
+start empty, migrations target freshly provisioned VMs); on a multi-tenant
+shared fleet it is what keeps one dataflow's placement from trampling
+another's.  :class:`SharedFleetScheduler` additionally bin-packs onto
+partially filled VMs and consults a dynamic exclusion set (util VMs of other
+tenants, VMs another tenant's in-flight migration is about to deprovision).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set
 
 from repro.cluster.cloud import Cluster
-from repro.cluster.placement import PlacementPlan
+from repro.cluster.placement import PackingError, PlacementPlan, bin_pack_plan, place_pinned
 from repro.cluster.vm import VirtualMachine
 
 
@@ -54,6 +62,11 @@ class Scheduler(ABC):
 
     # ------------------------------------------------------------- utilities
     @staticmethod
+    def _slot_free(slot, used_slots: Set[str]) -> bool:
+        """Whether a slot may be handed out: unused by this plan and unoccupied."""
+        return slot.slot_id not in used_slots and not slot.occupied
+
+    @staticmethod
     def _place_pinned(
         plan: PlacementPlan,
         pinned: Mapping[str, str],
@@ -61,15 +74,10 @@ class Scheduler(ABC):
         used_slots: Set[str],
     ) -> None:
         """Place pinned executors on free slots of their designated VMs."""
-        for executor_id, vm_id in pinned.items():
-            if vm_id not in cluster:
-                raise SchedulingError(f"pinned VM {vm_id} for executor {executor_id} is not in the cluster")
-            vm = cluster.vm(vm_id)
-            slot = next((s for s in vm.slots if s.slot_id not in used_slots), None)
-            if slot is None:
-                raise SchedulingError(f"no free slot on pinned VM {vm_id} for executor {executor_id}")
-            plan.assign(executor_id, slot.slot_id, vm_id)
-            used_slots.add(slot.slot_id)
+        try:
+            place_pinned(plan, pinned, cluster, used_slots)
+        except PackingError as exc:
+            raise SchedulingError(str(exc)) from exc
 
 
 class RoundRobinScheduler(Scheduler):
@@ -105,7 +113,7 @@ class RoundRobinScheduler(Scheduler):
 
         unpinned = [e for e in executor_ids if e not in pinned]
         total_free = sum(
-            1 for vm in eligible_vms for s in vm.slots if s.slot_id not in used_slots
+            1 for vm in eligible_vms for s in vm.slots if self._slot_free(s, used_slots)
         )
         if len(unpinned) > total_free:
             raise SchedulingError(
@@ -120,7 +128,7 @@ class RoundRobinScheduler(Scheduler):
                 vm = eligible_vms[vm_index % len(eligible_vms)]
                 vm_index += 1
                 attempts += 1
-                slot = next((s for s in vm.slots if s.slot_id not in used_slots), None)
+                slot = next((s for s in vm.slots if self._slot_free(s, used_slots)), None)
                 if slot is not None:
                     plan.assign(executor_id, slot.slot_id, vm.vm_id)
                     used_slots.add(slot.slot_id)
@@ -156,7 +164,7 @@ class ResourceAwareScheduler(Scheduler):
         eligible_vms = [vm for vm in cluster.vms if vm.vm_id not in excluded]
         unpinned = [e for e in executor_ids if e not in pinned]
         total_free = sum(
-            1 for vm in eligible_vms for s in vm.slots if s.slot_id not in used_slots
+            1 for vm in eligible_vms for s in vm.slots if self._slot_free(s, used_slots)
         )
         if len(unpinned) > total_free:
             raise SchedulingError(
@@ -167,7 +175,7 @@ class ResourceAwareScheduler(Scheduler):
             (vm, slot)
             for vm in eligible_vms
             for slot in vm.slots
-            if slot.slot_id not in used_slots
+            if self._slot_free(slot, used_slots)
         )
         for executor_id, (vm, slot) in zip(unpinned, slot_iter):
             plan.assign(executor_id, slot.slot_id, vm.vm_id)
@@ -175,3 +183,37 @@ class ResourceAwareScheduler(Scheduler):
         if len(plan) < len(unpinned) + len(pinned):
             raise SchedulingError("could not place all executors")
         return plan
+
+
+class SharedFleetScheduler(Scheduler):
+    """Multi-tenant scheduler: bin-pack onto the shared fleet.
+
+    Delegates to :func:`repro.cluster.placement.bin_pack_plan` (partially
+    filled VMs first, occupied slots never reassigned) and merges a dynamic
+    exclusion set into every request — the
+    :class:`~repro.multi.manager.ClusterManager` supplies a callable
+    returning the VM ids that must not receive this tenant's executors right
+    now: every tenant's util VM plus any VM an in-flight migration is about
+    to deprovision (rebalancing onto a dying VM would strand the executor).
+    """
+
+    def __init__(self, excluded_vms_fn: Optional[Callable[[], Set[str]]] = None) -> None:
+        self._excluded_vms_fn = excluded_vms_fn
+
+    def schedule(
+        self,
+        executor_ids: Sequence[str],
+        cluster: Cluster,
+        pinned: Optional[Mapping[str, str]] = None,
+        exclude_vms: Optional[Iterable[str]] = None,
+    ) -> PlacementPlan:
+        excluded = set(exclude_vms or [])
+        if self._excluded_vms_fn is not None:
+            excluded |= self._excluded_vms_fn()
+        pinned = dict(pinned or {})
+        # Pinned VMs (this tenant's own util host) always stay reachable for
+        # their pinned executors even when the dynamic set lists them.
+        try:
+            return bin_pack_plan(executor_ids, cluster, pinned=pinned, exclude_vms=excluded)
+        except PackingError as exc:
+            raise SchedulingError(str(exc)) from exc

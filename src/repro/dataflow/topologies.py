@@ -26,10 +26,12 @@ Table 1 instance totals; see EXPERIMENTS.md for the mapping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Any, Callable, Dict, List
 
 from repro.dataflow.builder import TopologyBuilder
 from repro.dataflow.graph import Dataflow
+from repro.dataflow.grouping import Grouping
+from repro.reliability.repartition import PARTITIONED_STATE_KEY
 
 #: Default source rate used in all paper experiments (events/second).
 DEFAULT_RATE = 8.0
@@ -190,6 +192,91 @@ def grid(rate: float = DEFAULT_RATE, latency_s: float = DEFAULT_LATENCY_S) -> Da
     return builder.build()
 
 
+# ------------------------------------------------------------ keyed variants
+#: Number of distinct entity keys (vehicles / meters) the keyed sources cycle
+#: through.  Small enough that every instance owns several keys at any
+#: parallelism the experiments reach, large enough that re-keying moves state.
+KEYED_NUM_KEYS = 64
+
+
+def keyed_payload_factory(prefix: str, num_keys: int = KEYED_NUM_KEYS) -> Callable[[int], Any]:
+    """Source payloads carrying a stable entity key (``{"key": "veh-7", ...}``)."""
+
+    def _factory(seq: int) -> Any:
+        return {"key": f"{prefix}-{seq % num_keys}", "seq": seq}
+
+    return _factory
+
+
+def keyed_state_logic(payload: Any, state: Dict[str, Any]) -> List[Any]:
+    """Per-key counting under the partitioned-state contract.
+
+    Entries under :data:`~repro.reliability.repartition.PARTITIONED_STATE_KEY`
+    are re-distributed by the stable FIELDS hash on a rescale, so this logic
+    makes the keyed topologies exercise real grouped-state re-partitioning
+    (not just router re-keying) whenever a migration changes parallelism.
+    """
+    counts = state.setdefault(PARTITIONED_STATE_KEY, {})
+    key = str(payload["key"]) if isinstance(payload, dict) and "key" in payload else str(payload)
+    counts[key] = counts.get(key, 0) + 1
+    state["processed"] = state.get("processed", 0) + 1
+    return [payload]
+
+
+def traffic_keyed(rate: float = DEFAULT_RATE, latency_s: float = DEFAULT_LATENCY_S) -> Dataflow:
+    """Traffic DAG with per-vehicle keyed state (``traffic-keyed``).
+
+    Structurally identical to :func:`traffic`, but the source emits events
+    keyed by vehicle id and the city-wide ``traffic_state`` task keeps
+    per-vehicle grouped state behind FIELDS-grouped input edges -- so the
+    same key always lands on the same instance, and a rescale must re-key
+    the routing *and* re-partition the state under load.
+    """
+    dataflow = traffic(rate=rate, latency_s=latency_s)
+    builder = TopologyBuilder("traffic-keyed")
+    builder.add_source("source", rate=rate, payload_factory=keyed_payload_factory("veh"))
+    for task in dataflow.user_tasks:
+        keyed = task.name == "traffic_state"
+        builder.add_task(
+            task.name,
+            parallelism=task.parallelism,
+            latency_s=task.latency_s,
+            stateful=task.stateful,
+            logic=keyed_state_logic if keyed else None,
+        )
+    builder.add_sink("sink")
+    for edge in dataflow.edges:
+        grouping = Grouping.FIELDS if edge.dst == "traffic_state" else edge.grouping
+        builder.connect(edge.src, edge.dst, grouping=grouping)
+    return builder.build()
+
+
+def grid_keyed(rate: float = DEFAULT_RATE, latency_s: float = DEFAULT_LATENCY_S) -> Dataflow:
+    """Grid DAG with per-meter keyed state (``grid-keyed``).
+
+    Structurally identical to :func:`grid`, with meter-keyed source events
+    and per-meter grouped state in ``forecast_merge`` and ``demand_predict``
+    behind FIELDS-grouped input edges.
+    """
+    dataflow = grid(rate=rate, latency_s=latency_s)
+    keyed_tasks = {"forecast_merge", "demand_predict"}
+    builder = TopologyBuilder("grid-keyed")
+    builder.add_source("source", rate=rate, payload_factory=keyed_payload_factory("meter"))
+    for task in dataflow.user_tasks:
+        builder.add_task(
+            task.name,
+            parallelism=task.parallelism,
+            latency_s=task.latency_s,
+            stateful=task.stateful,
+            logic=keyed_state_logic if task.name in keyed_tasks else None,
+        )
+    builder.add_sink("sink")
+    for edge in dataflow.edges:
+        grouping = Grouping.FIELDS if edge.dst in keyed_tasks else edge.grouping
+        builder.connect(edge.src, edge.dst, grouping=grouping)
+    return builder.build()
+
+
 @dataclass(frozen=True)
 class Table1Row:
     """One row of Table 1 of the paper: resource footprint of a dataflow."""
@@ -220,16 +307,29 @@ PAPER_TOPOLOGIES: Dict[str, Callable[[], Dataflow]] = {
     "traffic": traffic,
 }
 
+#: FIELDS-grouped variants of the application DAGs (per-entity keyed state).
+#: Not part of the paper's figure matrix; used by the rescale and
+#: multi-tenant runs to exercise re-keying under load.
+KEYED_TOPOLOGIES: Dict[str, Callable[[], Dataflow]] = {
+    "traffic-keyed": traffic_keyed,
+    "grid-keyed": grid_keyed,
+}
+
+#: Every runnable topology (paper DAGs plus keyed variants).
+ALL_TOPOLOGIES: Dict[str, Callable[[], Dataflow]] = {**PAPER_TOPOLOGIES, **KEYED_TOPOLOGIES}
+
 #: Evaluation order used throughout the paper's figures.
 PAPER_ORDER: List[str] = ["linear", "diamond", "star", "grid", "traffic"]
 
 
 def by_name(name: str) -> Dataflow:
-    """Build a paper dataflow by name (``linear``, ``diamond``, ``star``, ``grid``, ``traffic``)."""
+    """Build a topology by name: a paper dataflow (``linear``, ``diamond``,
+    ``star``, ``grid``, ``traffic``) or a keyed variant (``traffic-keyed``,
+    ``grid-keyed``)."""
     try:
-        factory = PAPER_TOPOLOGIES[name]
+        factory = ALL_TOPOLOGIES[name]
     except KeyError:
         raise KeyError(
-            f"unknown paper topology {name!r}; choose from {sorted(PAPER_TOPOLOGIES)}"
+            f"unknown paper topology {name!r}; choose from {sorted(ALL_TOPOLOGIES)}"
         ) from None
     return factory()

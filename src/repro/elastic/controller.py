@@ -21,9 +21,25 @@ has expired -- enacts the change:
 
 Hysteresis (``confirm_samples`` consecutive agreeing samples) filters
 short-lived spikes such as :class:`~repro.workloads.profiles.BurstProfile`
-bursts; the cooldown keeps the post-migration backlog drain (whose burst
-briefly looks like a surge) from immediately re-triggering a scale-out.
-Samples taken while the sources are paused (mid-protocol) are ignored.
+bursts; the cooldown keeps back-to-back migrations apart.  Samples taken
+while the sources are paused (mid-protocol) are ignored.
+
+Two signals make the loop **drain-aware**:
+
+* decisions track the monitor's ``offered_rate`` (events *generated* per
+  second) rather than the raw emission rate, so a post-migration backlog
+  drain -- whose burst looks exactly like a fresh surge on the wire -- does
+  not trigger a spurious scale-out;
+* a scale-in is held while the observed backlog (executor queues plus source
+  backlogs) exceeds ``drain_guard_backlog_s`` seconds of offered load:
+  consolidating a dataflow that is still absorbing a surge would strand the
+  very backlog it is draining on a smaller allocation.
+
+Subclasses can reroute capacity through an external authority (the
+multi-tenant :class:`~repro.multi.tenant.TenantController` asks a
+:class:`~repro.multi.arbiter.ScaleArbiter` before provisioning) by
+overriding :meth:`ElasticityController._acquire_capacity` and
+:meth:`ElasticityController._release_capacity`.
 """
 
 from __future__ import annotations
@@ -58,6 +74,11 @@ class ControllerConfig:
     #: the target VMs and issuing the migration (the paper plans ahead, so the
     #: VMs are ready when the migration request is issued).
     wait_for_provisioning: bool = True
+    #: Drain-aware scale-in guard: a consolidation is deferred while the total
+    #: backlog exceeds this many seconds of offered load (``None`` or 0
+    #: disables the guard).  Scale-outs are never held -- extra capacity only
+    #: helps a drain.
+    drain_guard_backlog_s: Optional[float] = 5.0
 
     def __post_init__(self) -> None:
         if self.check_interval_s <= 0:
@@ -66,6 +87,8 @@ class ControllerConfig:
             raise ValueError("confirm_samples must be at least 1")
         if self.cooldown_s < 0:
             raise ValueError("cooldown_s must be non-negative")
+        if self.drain_guard_backlog_s is not None and self.drain_guard_backlog_s < 0:
+            raise ValueError("drain_guard_backlog_s must be non-negative (or None)")
 
 
 @dataclass
@@ -80,7 +103,7 @@ class ScalingAction:
     to_tier: str
     #: Simulated time of the decision (after hysteresis confirmed it).
     decided_at: float
-    #: Observed input rate that triggered the decision.
+    #: Offered input rate (generated ev/s) that triggered the decision.
     observed_rate: float
     #: The planner's allocation behind the decision.
     target: TargetAllocation
@@ -155,7 +178,7 @@ class ElasticityController:
         if self._migration_in_flight or sample.sources_paused:
             return
 
-        target = self.planner.plan(sample.input_rate, current_tier=self.tier)
+        target = self.planner.plan(sample.offered_rate, current_tier=self.tier)
         # A change is pending when the tier moves *or* the demand calls for a
         # parallelism change within the same tier (e.g. a second surge on an
         # already-expanded deployment still has to add instances).
@@ -173,44 +196,66 @@ class ElasticityController:
             return
         if self.runtime.sim.now < self._cooldown_until:
             return
+        if self._direction_of(target) == "in" and self._drain_guard_holds(sample):
+            return
         self._enact(target, sample)
+
+    def _direction_of(self, target: TargetAllocation) -> str:
+        """``out`` (adding capacity) or ``in`` (consolidating) for a target."""
+        if target.tier != self.tier:
+            return "out" if TIER_ORDER[target.tier] > TIER_ORDER[self.tier] else "in"
+        # Same-tier rescale: the direction is given by the slot delta.  The
+        # delta cannot be zero here -- the planner only attaches a same-tier
+        # rescale when the pressure is out of band, which means the required
+        # slot count strictly differs from the deployed one.
+        return "out" if target.hosted_slots > self.runtime.dataflow.total_instances() else "in"
+
+    def _drain_guard_holds(self, sample: MonitorSample) -> bool:
+        """Whether the drain-aware guard vetoes a scale-in right now.
+
+        The confirmation state is deliberately left intact: the moment the
+        backlog is absorbed, the already-confirmed consolidation proceeds.
+        """
+        guard_s = self.config.drain_guard_backlog_s
+        if not guard_s:
+            return False
+        backlog = sample.queue_backlog + sample.source_backlog
+        return backlog > guard_s * max(sample.offered_rate, 1.0)
 
     # -------------------------------------------------------------- enactment
     def _enact(self, target: TargetAllocation, sample: MonitorSample) -> None:
-        if target.tier != self.tier:
-            direction = "out" if TIER_ORDER[target.tier] > TIER_ORDER[self.tier] else "in"
-        else:
-            # Same-tier rescale: the direction is given by the slot delta.
-            # The delta cannot be zero here -- the planner only attaches a
-            # same-tier rescale when the pressure is out of band, which
-            # means the required slot count strictly differs from the
-            # deployed one.
-            direction = (
-                "out"
-                if target.hosted_slots > self.runtime.dataflow.total_instances()
-                else "in"
-            )
         action = ScalingAction(
-            direction=direction,
+            direction=self._direction_of(target),
             from_tier=self.tier,
             to_tier=target.tier,
             decided_at=self.runtime.sim.now,
-            observed_rate=sample.input_rate,
+            observed_rate=sample.offered_rate,
             target=target,
         )
-        # Billing for the new fleet starts now; the migration request waits
-        # for the VMs to come up.
-        for type_name, count in sorted(target.vm_counts.items()):
-            vm_type = VM_TYPES[type_name]
-            for vm in self.provider.provision(vm_type, count, name_prefix=type_name.lower()):
-                self.runtime.cluster.add_vm(vm)
-                action.provisioned_vm_ids.append(vm.vm_id)
+        if not self._acquire_capacity(action):
+            # Capacity withheld (an arbiter deferred us): keep the confirmed
+            # pending state so the next tick proposes again.
+            return
         self.actions.append(action)
         self._migration_in_flight = True
         self._pending_tier = None
         self._pending_count = 0
         delay = self.provider.provisioning_latency_s if self.config.wait_for_provisioning else 0.0
         self.runtime.sim.schedule(delay, self._start_migration, action)
+
+    def _acquire_capacity(self, action: ScalingAction) -> bool:
+        """Provision the target fleet for an action; ``False`` defers it.
+
+        Billing for the new fleet starts now; the migration request waits for
+        the VMs to come up.  Subclasses may consult an external authority and
+        return ``False`` to leave the decision pending.
+        """
+        for type_name, count in sorted(action.target.vm_counts.items()):
+            vm_type = VM_TYPES[type_name]
+            for vm in self.provider.provision(vm_type, count, name_prefix=type_name.lower()):
+                self.runtime.cluster.add_vm(vm)
+                action.provisioned_vm_ids.append(vm.vm_id)
+        return True
 
     def _start_migration(self, action: ScalingAction) -> None:
         # Worker VMs in use before the migration; vacated ones are released
@@ -225,6 +270,7 @@ class ElasticityController:
         ]
         strategy = self.strategy_cls(self.runtime)
         action.enacted_at = self.runtime.sim.now
+        self._migration_starting(action, old_vm_ids)
         if action.target.rescale is not None:
             # Combined rescale + migrate: the placement must be planned after
             # the strategy has applied the parallelism change (the executor
@@ -241,19 +287,35 @@ class ElasticityController:
                 on_complete=lambda report: self._migration_complete(action, old_vm_ids, report),
             )
 
+    def _migration_starting(self, action: ScalingAction, old_vm_ids: List[str]) -> None:
+        """Hook fired when the migration request is issued (post-provisioning).
+
+        ``old_vm_ids`` are the worker VMs the migration will vacate; the
+        multi-tenant controller registers them as *retiring* so no other
+        tenant rebalances onto a VM that is about to disappear.
+        """
+
     def _migration_complete(
         self, action: ScalingAction, old_vm_ids: List[str], report: MigrationReport
     ) -> None:
         action.report = report
         action.completed_at = self.runtime.sim.now
+        self._release_capacity(action, old_vm_ids)
+        self.tier = action.to_tier
+        self._migration_in_flight = False
+        self._cooldown_until = self.runtime.sim.now + self.config.cooldown_s
+
+    def _release_capacity(self, action: ScalingAction, old_vm_ids: List[str]) -> None:
+        """Deprovision the VMs the migration vacated.
+
+        VMs that still host executors (on a shared fleet, another tenant's)
+        are skipped: they keep accruing cost until genuinely empty.
+        """
         for vm_id in old_vm_ids:
             if vm_id not in self.runtime.cluster:
                 continue
             vm = self.runtime.cluster.vm(vm_id)
             if vm.occupied_slots:
-                continue  # defensive: something still lives there, keep paying
+                continue  # something still lives there, keep paying
             self.provider.release_from(self.runtime.cluster, vm_id)
             action.deprovisioned_vm_ids.append(vm_id)
-        self.tier = action.to_tier
-        self._migration_in_flight = False
-        self._cooldown_until = self.runtime.sim.now + self.config.cooldown_s

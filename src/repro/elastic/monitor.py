@@ -30,6 +30,12 @@ class MonitorSample:
     #: Source emission rate (ev/s) over the interval since the previous sample,
     #: including backlog drains and replays -- what the wire actually carried.
     input_rate: float
+    #: Rate at which the sources *generated* events over the interval (ev/s):
+    #: emissions corrected by the source-backlog delta.  A post-migration
+    #: backlog drain inflates ``input_rate`` far above the offered load, and a
+    #: paused source deflates it to zero; ``offered_rate`` is steady through
+    #: both, which is what scaling decisions should track.
+    offered_rate: float
     #: Sink receipt rate (ev/s) over the same interval.
     output_rate: float
     #: Mean end-to-end latency of the sink receipts in the interval (None if
@@ -57,6 +63,7 @@ class ElasticityMonitor:
         self._emit_index = 0
         self._receipt_index = 0
         self._last_sample_time = runtime.sim.now
+        self._last_source_backlog = 0
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -93,13 +100,21 @@ class ElasticityMonitor:
         if new_receipts:
             avg_latency = sum(r.latency_s for r in new_receipts) / len(new_receipts)
 
+        source_backlog = sum(s.backlog_size for s in runtime.source_executors)
+        # Events generated in the interval = events emitted + backlog growth
+        # (negative growth while a backlog drains: those emissions were
+        # generated in an earlier interval, not fresh load).
+        generated = new_emits + (source_backlog - self._last_source_backlog)
+        self._last_source_backlog = source_backlog
+
         sample = MonitorSample(
             time=now,
             input_rate=new_emits / interval,
+            offered_rate=max(0.0, generated / interval),
             output_rate=len(new_receipts) / interval,
             avg_latency_s=avg_latency,
             queue_backlog=sum(e.queue_length for e in runtime.user_executors),
-            source_backlog=sum(s.backlog_size for s in runtime.source_executors),
+            source_backlog=source_backlog,
             sources_paused=runtime.sources_paused,
         )
         self.samples.append(sample)

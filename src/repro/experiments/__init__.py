@@ -17,6 +17,10 @@ triggers migrations automatically as the input rate changes.
 :mod:`repro.experiments.rescale` compares capacity-adding scale-out (runtime
 parallelism rescale during the migration) against the paper's placement-only
 scaling on the same surge profile.
+
+:mod:`repro.experiments.multi` hosts several dataflows as tenants of one
+shared, budget-arbitrated fleet (offset surges, bin-packed placement) and
+compares each tenant against its private-fleet baseline.
 """
 
 from repro.experiments.scenarios import (
@@ -37,6 +41,12 @@ from repro.experiments.rescale import (
     RescaleRunSummary,
     run_rescale_experiment,
 )
+from repro.experiments.multi import (
+    ManagedRunResult,
+    MultiExperimentResult,
+    TenantSummary,
+    run_multi_experiment,
+)
 from repro.experiments.figures import ExperimentMatrix
 from repro.experiments.formatting import format_table
 
@@ -44,15 +54,19 @@ __all__ = [
     "ElasticRunResult",
     "ElasticScenarioSpec",
     "ExperimentMatrix",
+    "ManagedRunResult",
     "MigrationRunResult",
+    "MultiExperimentResult",
     "RescaleComparisonResult",
     "RescaleRunSummary",
     "ScenarioSpec",
+    "TenantSummary",
     "build_experiment",
     "format_table",
     "plan_after_scaling",
     "run_elastic_experiment",
     "run_migration_experiment",
+    "run_multi_experiment",
     "run_rescale_experiment",
     "vm_counts_for",
 ]

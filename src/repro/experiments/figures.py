@@ -10,9 +10,12 @@ discussion of deviations.
 from __future__ import annotations
 
 import math
+import multiprocessing
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.metrics import MigrationMetrics
 from repro.dataflow import topologies
 from repro.dataflow.topologies import PAPER_ORDER, TABLE1
 from repro.experiments.scenarios import MigrationRunResult, run_migration_experiment, vm_counts_for
@@ -81,21 +84,84 @@ DEFAULT_MIGRATE_AT_S = 90.0
 DEFAULT_POST_MIGRATION_S = 540.0
 
 
+#: Timeline resolutions the figures use; matrix cells precompute series at
+#: exactly these, so the parallel path reproduces the serial output bit for bit.
+DEFAULT_RATE_BIN_S = 5.0
+DEFAULT_LATENCY_WINDOW_S = 10.0
+
+
 @dataclass
-class FigureRun:
-    """Cache key + result for one (dag, strategy, scaling) experiment."""
+class MatrixCell:
+    """Picklable summary of one (dag, strategy, scaling) experiment.
+
+    Everything the figure drivers read, without the live runtime/simulator a
+    full :class:`MigrationRunResult` drags along -- which is what lets
+    :meth:`ExperimentMatrix.prefetch` compute cells in worker processes and
+    ship them back.
+    """
 
     dag: str
     strategy: str
     scaling: str
-    result: MigrationRunResult
+    metrics: MigrationMetrics
+    #: Simulated time of the migration request (figure timelines are relative to it).
+    requested_at: float
+    #: Input/output rate timelines at :data:`DEFAULT_RATE_BIN_S` (absolute times).
+    input_series: List[RatePoint]
+    output_series: List[RatePoint]
+    #: Latency timeline at :data:`DEFAULT_LATENCY_WINDOW_S` (absolute times).
+    latency_series: List[LatencyPoint]
+
+
+def _cell_from_result(result: MigrationRunResult) -> MatrixCell:
+    return MatrixCell(
+        dag=result.spec.dag,
+        strategy=result.spec.strategy,
+        scaling=result.spec.scaling,
+        metrics=result.metrics,
+        requested_at=result.report.requested_at,
+        input_series=rate_timeline(result.log, kind="input", bin_s=DEFAULT_RATE_BIN_S),
+        output_series=rate_timeline(result.log, kind="output", bin_s=DEFAULT_RATE_BIN_S),
+        latency_series=latency_timeline(result.log, window_s=DEFAULT_LATENCY_WINDOW_S),
+    )
+
+
+def _compute_cell(spec: Tuple[str, str, str, float, float, int]) -> Tuple[Tuple[str, str, str], MatrixCell]:
+    """Worker-process entry point: run one cell, return its picklable summary.
+
+    Runs are hermetic (``run_migration_experiment`` resets the global event-id
+    counter), so a cell computed in a fresh process is identical to the same
+    cell computed serially in the parent.
+    """
+    dag, strategy, scaling, migrate_at_s, post_migration_s, seed = spec
+    result = run_migration_experiment(
+        dag=dag,
+        strategy=strategy,
+        scaling=scaling,
+        migrate_at_s=migrate_at_s,
+        post_migration_s=post_migration_s,
+        seed=seed,
+    )
+    return (dag, strategy, scaling), _cell_from_result(result)
+
+
+@dataclass
+class FigureRun:
+    """Cache key + cell summary for one (dag, strategy, scaling) experiment."""
+
+    dag: str
+    strategy: str
+    scaling: str
+    result: MatrixCell
 
 
 class ExperimentMatrix:
     """Runs and caches the (dag x strategy x scaling) experiment matrix.
 
     Figures 5, 6 and 8 are all computed from the same runs, so the matrix is
-    computed lazily and shared.
+    computed lazily and shared.  Cells are hermetic (event ids reset per
+    run), so :meth:`prefetch` can fan the missing cells out across worker
+    processes for near-linear wall-clock wins on the full figure suite.
     """
 
     def __init__(
@@ -112,9 +178,10 @@ class ExperimentMatrix:
         self.dags = list(dags)
         self.strategies = list(strategies)
         self._cache: Dict[Tuple[str, str, str], MigrationRunResult] = {}
+        self._cells: Dict[Tuple[str, str, str], MatrixCell] = {}
 
     def run(self, dag: str, strategy: str, scaling: str) -> MigrationRunResult:
-        """Run (or return the cached) experiment for one cell of the matrix."""
+        """Run (or return the cached) full experiment for one cell of the matrix."""
         key = (dag, strategy, scaling)
         if key not in self._cache:
             self._cache[key] = run_migration_experiment(
@@ -127,12 +194,65 @@ class ExperimentMatrix:
             )
         return self._cache[key]
 
+    def cell(self, dag: str, strategy: str, scaling: str) -> MatrixCell:
+        """The figure-facing summary of one cell (prefetched or computed now)."""
+        key = (dag, strategy, scaling)
+        if key not in self._cells:
+            self._cells[key] = _cell_from_result(self.run(dag, strategy, scaling))
+        return self._cells[key]
+
+    def _cell_specs(
+        self,
+        scalings: Sequence[str],
+        dags: Optional[Sequence[str]] = None,
+        strategies: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[str, str, str, float, float, int]]:
+        return [
+            (dag, strategy, scaling, self.migrate_at_s, self.post_migration_s, self.seed)
+            for scaling in scalings
+            for dag in (dags if dags is not None else self.dags)
+            for strategy in (strategies if strategies is not None else self.strategies)
+            if (dag, strategy, scaling) not in self._cells
+        ]
+
+    def prefetch(
+        self,
+        scalings: Sequence[str] = ("in", "out"),
+        processes: Optional[int] = None,
+        dags: Optional[Sequence[str]] = None,
+        strategies: Optional[Sequence[str]] = None,
+    ) -> int:
+        """Compute all missing cells for the given scalings, in parallel.
+
+        Fans the cells out over a process pool (``processes`` defaults to the
+        CPU count, capped at the number of missing cells) and stores the
+        returned :class:`MatrixCell` summaries.  Returns the number of cells
+        computed.  With ``processes=1`` (or a single missing cell) the work
+        stays in-process -- no pool, no pickling.  ``dags`` / ``strategies``
+        optionally restrict the prefetch to a subset (single-DAG figures,
+        DSM-only Fig. 6).
+        """
+        specs = self._cell_specs(scalings, dags, strategies)
+        if not specs:
+            return 0
+        workers = processes if processes is not None else (os.cpu_count() or 1)
+        workers = max(1, min(workers, len(specs)))
+        if workers == 1:
+            for spec in specs:
+                key, cell = _compute_cell(spec)
+                self._cells[key] = cell
+            return len(specs)
+        with multiprocessing.Pool(processes=workers) as pool:
+            for key, cell in pool.map(_compute_cell, specs):
+                self._cells[key] = cell
+        return len(specs)
+
     def results(self, scaling: str) -> List[FigureRun]:
-        """All results for one scaling direction, in paper order."""
+        """All cell summaries for one scaling direction, in paper order."""
         runs = []
         for dag in self.dags:
             for strategy in self.strategies:
-                runs.append(FigureRun(dag, strategy, scaling, self.run(dag, strategy, scaling)))
+                runs.append(FigureRun(dag, strategy, scaling, self.cell(dag, strategy, scaling)))
         return runs
 
 
@@ -189,11 +309,11 @@ def figure6_rows(matrix: ExperimentMatrix, scaling: str) -> List[Dict[str, objec
     """Reproduce Fig. 6 (a or b): failed-and-replayed message counts for DSM."""
     rows = []
     for dag in matrix.dags:
-        result = matrix.run(dag, "dsm", scaling)
+        cell = matrix.cell(dag, "dsm", scaling)
         rows.append(
             {
                 "dag": dag,
-                "replayed_messages": result.metrics.replayed_message_count,
+                "replayed_messages": cell.metrics.replayed_message_count,
                 "replayed_paper": PAPER_FIG6.get((scaling, dag)),
             }
         )
@@ -214,17 +334,19 @@ def figure7_series(
     """
     series: Dict[str, Dict[str, List[RatePoint]]] = {}
     for strategy in matrix.strategies:
-        result = matrix.run(dag, strategy, scaling)
-        request = result.report.requested_at
+        if bin_s == DEFAULT_RATE_BIN_S:
+            cell = matrix.cell(dag, strategy, scaling)
+            request = cell.requested_at
+            input_points, output_points = cell.input_series, cell.output_series
+        else:
+            # Non-default resolution: recompute from the full run's log.
+            result = matrix.run(dag, strategy, scaling)
+            request = result.report.requested_at
+            input_points = rate_timeline(result.log, kind="input", bin_s=bin_s)
+            output_points = rate_timeline(result.log, kind="output", bin_s=bin_s)
         series[strategy] = {
-            "input": [
-                RatePoint(time=p.time - request, rate=p.rate)
-                for p in rate_timeline(result.log, kind="input", bin_s=bin_s)
-            ],
-            "output": [
-                RatePoint(time=p.time - request, rate=p.rate)
-                for p in rate_timeline(result.log, kind="output", bin_s=bin_s)
-            ],
+            "input": [RatePoint(time=p.time - request, rate=p.rate) for p in input_points],
+            "output": [RatePoint(time=p.time - request, rate=p.rate) for p in output_points],
         }
     return series
 
@@ -260,12 +382,19 @@ def figure9_series(
     """
     series: Dict[str, Dict[str, object]] = {}
     for strategy in matrix.strategies:
-        result = matrix.run(dag, strategy, scaling)
-        request = result.report.requested_at
-        metrics = result.metrics
+        if window_s == DEFAULT_LATENCY_WINDOW_S:
+            cell = matrix.cell(dag, strategy, scaling)
+            request = cell.requested_at
+            metrics = cell.metrics
+            raw_points = cell.latency_series
+        else:
+            result = matrix.run(dag, strategy, scaling)
+            request = result.report.requested_at
+            metrics = result.metrics
+            raw_points = latency_timeline(result.log, window_s=window_s)
         points = [
             LatencyPoint(time=p.time - request, latency_s=p.latency_s, samples=p.samples)
-            for p in latency_timeline(result.log, window_s=window_s)
+            for p in raw_points
         ]
         stable = [p.latency_s for p in points if p.time < 0]
         series[strategy] = {

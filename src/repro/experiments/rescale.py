@@ -145,13 +145,12 @@ def run_rescale_experiment(
     surge_start_s = duration_s * 0.25
     surge_end_s = duration_s * 0.60
     if controller_config is None:
-        # One scale-out per run: the cooldown outlasts the run so the
-        # post-surge drain (whose burst looks like fresh load, and whose
-        # backlog a premature scale-in would strand) cannot trigger a second
-        # action.  Drain-aware scale-in is a named ROADMAP follow-on; this
-        # comparison isolates the capacity question.
+        # A normal cooldown suffices: the controller plans on the monitor's
+        # offered rate (a post-surge drain burst no longer reads as fresh
+        # load) and the drain-aware guard holds any scale-in until the
+        # backlog the surge built has actually been absorbed.
         controller_config = ControllerConfig(
-            check_interval_s=15.0, confirm_samples=2, cooldown_s=duration_s
+            check_interval_s=15.0, confirm_samples=2, cooldown_s=60.0
         )
 
     def _one_run(elastic_parallelism: bool) -> ElasticRunResult:

@@ -1,0 +1,39 @@
+"""Multi-tenant clusters: many dataflows sharing one arbitrated fleet.
+
+The paper evaluates one dataflow migrating on a private VM set; its
+motivating use case -- cloud operators hosting streaming pipelines for
+millions of users -- means many dataflows on one fleet.  This package adds
+that layer on top of everything below it:
+
+* :class:`~repro.multi.manager.ClusterManager` -- owns one shared
+  :class:`~repro.cluster.cloud.CloudProvider`/cluster and hosts N tenants,
+  bin-packed onto a common worker fleet;
+* :class:`~repro.multi.arbiter.ScaleArbiter` -- arbitrates every tenant's
+  scale/rescale/migrate proposals under a cluster-wide slot budget with
+  priority tiers, a proportional-share fallback, migration serialization
+  and retiring-VM publication;
+* :class:`~repro.multi.tenant.TenantController` -- the per-tenant elastic
+  controller that *proposes instead of acting*.
+"""
+
+from repro.multi.arbiter import (
+    ArbiterDecision,
+    ProposalRecord,
+    ScaleArbiter,
+    is_worker_vm,
+)
+from repro.multi.manager import ClusterManager, FleetSample, Tenant
+from repro.multi.tenant import Deferral, TenantController, slots_of
+
+__all__ = [
+    "ArbiterDecision",
+    "ClusterManager",
+    "Deferral",
+    "FleetSample",
+    "ProposalRecord",
+    "ScaleArbiter",
+    "Tenant",
+    "TenantController",
+    "is_worker_vm",
+    "slots_of",
+]

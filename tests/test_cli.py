@@ -72,3 +72,58 @@ class TestCommands:
         assert exit_code == 0
         assert "linear" in output
         assert "dsm" in output and "ccr" in output
+
+
+class TestMultiCommand:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["multi"])
+        assert args.command == "multi"
+        assert args.dags == "traffic,grid"
+        assert args.strategy == "ccr"
+        assert args.budget is None
+        assert not args.placement_only
+        assert not args.no_baseline
+
+    def test_unknown_dag_rejected(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(["multi", "--dags", "traffic,atlantis"])
+        assert exit_code == 2
+        assert "atlantis" in capsys.readouterr().err
+
+    def test_priorities_must_match_dag_count(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(["multi", "--dags", "traffic,linear", "--priorities", "1"])
+        assert exit_code == 2
+        assert "priorities" in capsys.readouterr().err
+
+    def test_multi_command_runs_end_to_end(self, capsys):
+        from repro.cli import main
+
+        exit_code = main([
+            "multi", "--dags", "linear,diamond", "--strategy", "ccr",
+            "--duration", "300", "--surge", "2", "--seed", "7",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Tenants" in output
+        assert "Arbitration" in output
+        assert "peak committed slots" in output
+        assert "vs" in output  # private-baseline comparison columns
+
+    def test_keyed_dags_accepted(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["elastic", "--dag", "traffic-keyed"])
+        assert args.dag == "traffic-keyed"
+        args = build_parser().parse_args(["rescale", "--dag", "grid-keyed"])
+        assert args.dag == "grid-keyed"
+
+    def test_figure_jobs_flag(self):
+        from repro.cli import build_parser
+
+        assert build_parser().parse_args(["figure", "fig5"]).jobs == 1
+        assert build_parser().parse_args(["figure", "fig5", "--jobs", "0"]).jobs == 0

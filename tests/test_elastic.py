@@ -248,3 +248,134 @@ class TestElasticCLI:
         assert "Scaling actions" in output
         assert "scale-out" in output
         assert "total:" in output
+
+
+class TestOfferedRate:
+    """The drain-corrected load signal scaling decisions plan on."""
+
+    def test_offered_rate_tracks_generation_through_pause_and_drain(self):
+        runtime = make_runtime(small_chain(rate=10.0))
+        runtime.start()
+        monitor = ElasticityMonitor(runtime, interval_s=10.0)
+
+        runtime.sim.run(until=10.0)
+        steady = monitor.sample_now()
+        assert steady.offered_rate == pytest.approx(steady.input_rate, rel=0.05)
+
+        # Paused: nothing is emitted, but the load is still being offered.
+        runtime.pause_sources()
+        runtime.sim.run(until=20.0)
+        paused = monitor.sample_now()
+        assert paused.input_rate == 0.0
+        assert paused.offered_rate == pytest.approx(10.0, rel=0.15)
+
+        # Draining: the wire carries the backlog burst on top of fresh load,
+        # but the offered rate stays the generation rate.
+        runtime.unpause_sources()
+        runtime.sim.run(until=30.0)
+        draining = monitor.sample_now()
+        assert draining.input_rate > 15.0
+        assert draining.offered_rate == pytest.approx(10.0, rel=0.15)
+
+    def test_drain_burst_does_not_trigger_spurious_scale_out(self):
+        """A pause builds a backlog whose drain burst used to read as a
+        surge; planning on the offered rate keeps the controller quiet."""
+        from repro.cluster.cloud import CloudProvider
+        from repro.elastic import AllocationPlanner, ElasticityController
+        from repro.core.strategy import strategy_by_name
+
+        runtime = make_runtime(small_chain(rate=8.0))
+        runtime.start()
+        provider = CloudProvider(runtime.sim, provisioning_latency_s=1.0)
+        monitor = ElasticityMonitor(runtime, interval_s=5.0)
+        controller = ElasticityController(
+            runtime, provider, monitor, AllocationPlanner(runtime.dataflow),
+            strategy_by_name("ccr"),
+            config=ControllerConfig(check_interval_s=5.0, confirm_samples=1, cooldown_s=5.0),
+        )
+        controller.start()
+        runtime.sim.schedule(12.0, runtime.pause_sources)
+        runtime.sim.schedule(27.0, runtime.unpause_sources)
+        runtime.sim.run(until=90.0)
+        controller.stop()
+        runtime.stop_sources()
+
+        # The drain burst after t=27 pushed the *wire* rate well above the
+        # expand threshold in at least one sample, yet no scale-out happened.
+        assert any(s.input_rate > 12.0 for s in monitor.samples if not s.sources_paused)
+        assert [a for a in controller.actions if a.direction == "out"] == []
+
+
+class TestDrainAwareScaleInGuard:
+    def test_guard_config_validated(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(drain_guard_backlog_s=-1.0)
+
+    def test_scale_in_held_until_backlog_absorbed(self):
+        """After a surge ends, the consolidation must wait for the drain:
+        with the guard on, every scale-in lands only once the backlog is
+        below the guard threshold."""
+        profile = StepProfile(steps=[(0.0, 8.0), (30.0, 24.0), (80.0, 8.0)])
+        result = run_elastic_experiment(
+            dag="traffic",
+            strategy="ccr",
+            profile=profile,
+            duration_s=260.0,
+            seed=11,
+            dataflow=topologies.traffic(latency_s=0.02),
+            config=fast_config("ccr", seed=11),
+            controller_config=ControllerConfig(
+                check_interval_s=5.0, confirm_samples=2, cooldown_s=10.0,
+                drain_guard_backlog_s=5.0,
+            ),
+            provisioning_latency_s=2.0,
+        )
+        ins = result.scale_ins()
+        assert ins, "the surge's end must eventually consolidate"
+        guard = 5.0
+        for action in ins:
+            decided = action.decided_at
+            sample = max(
+                (s for s in result.samples if s.time <= decided),
+                key=lambda s: s.time,
+            )
+            backlog = sample.queue_backlog + sample.source_backlog
+            assert backlog <= guard * max(sample.offered_rate, 1.0), (
+                f"scale-in at t={decided} enacted with {backlog} backlogged events"
+            )
+
+    def test_guard_disabled_consolidates_mid_drain(self):
+        """Regression guard for the guard: with drain_guard_backlog_s=None the
+        old behaviour (consolidating while a backlog drains) is reachable,
+        proving the guard is what prevents it."""
+        controller_kwargs = dict(
+            check_interval_s=5.0, confirm_samples=1, cooldown_s=5.0,
+        )
+        profile = StepProfile(steps=[(0.0, 8.0), (20.0, 32.0), (60.0, 8.0)])
+
+        def run(guard):
+            return run_elastic_experiment(
+                strategy="dcr",
+                profile=profile,
+                duration_s=150.0,
+                seed=17,
+                dataflow=small_chain(rate=8.0),
+                config=fast_config("dcr", seed=17),
+                controller_config=ControllerConfig(
+                    drain_guard_backlog_s=guard, **controller_kwargs
+                ),
+                provisioning_latency_s=1.0,
+            )
+
+        unguarded = run(None)
+        guarded = run(5.0)
+
+        def earliest_in(result):
+            ins = result.scale_ins()
+            return min((a.decided_at for a in ins), default=None)
+
+        unguarded_at = earliest_in(unguarded)
+        guarded_at = earliest_in(guarded)
+        assert unguarded_at is not None, "without the guard the drain is consolidated into"
+        if guarded_at is not None:
+            assert guarded_at >= unguarded_at

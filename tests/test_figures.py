@@ -106,3 +106,41 @@ class TestFormatting:
         assert "ev/s" in format_rate_series("output", rate_points)
         assert "ms" in format_latency_series("dsm", latency_points)
         assert "(no data)" in format_rate_series("empty", [])
+
+
+class TestParallelMatrix:
+    """prefetch() fans hermetic cells across processes; results are identical."""
+
+    KW = dict(migrate_at_s=30.0, post_migration_s=120.0, dags=["linear"])
+
+    def test_parallel_prefetch_matches_serial(self):
+        from repro.experiments.figures import (
+            ExperimentMatrix,
+            figure5_rows,
+            figure6_rows,
+            figure7_series,
+            figure8_rows,
+        )
+
+        serial = ExperimentMatrix(**self.KW)
+        parallel = ExperimentMatrix(**self.KW)
+        computed = parallel.prefetch(scalings=("in",), processes=2)
+        assert computed == 3  # one cell per strategy
+        assert parallel.prefetch(scalings=("in",), processes=2) == 0  # cached
+
+        assert figure5_rows(parallel, "in") == figure5_rows(serial, "in")
+        assert figure6_rows(parallel, "in") == figure6_rows(serial, "in")
+        assert figure8_rows(parallel, "in") == figure8_rows(serial, "in")
+        assert figure7_series(parallel, dag="linear", scaling="in") == \
+            figure7_series(serial, dag="linear", scaling="in")
+        # The parallel matrix never had to materialize a full in-process run.
+        assert parallel._cache == {}
+
+    def test_custom_resolution_falls_back_to_full_run(self):
+        from repro.experiments.figures import ExperimentMatrix, figure7_series
+
+        matrix = ExperimentMatrix(**self.KW)
+        matrix.prefetch(scalings=("in",), processes=1)
+        series = figure7_series(matrix, dag="linear", scaling="in", bin_s=2.0)
+        assert matrix._cache  # the non-default bin size needed the real log
+        assert series["ccr"]["input"]

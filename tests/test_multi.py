@@ -1,0 +1,395 @@
+"""Multi-tenant clusters: bin-packing, arbitration, the manager, end-to-end runs.
+
+The arbitration unit tests pin the four policy behaviours the subsystem
+exists for -- budget contention (no double-provisioning past the cap),
+preemption by priority, concurrent-migration serialization and retiring-VM
+publication -- and the end-to-end tests run real tenants with offset surges
+on one shared fleet against the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cloud import CloudProvider, Cluster
+from repro.cluster.placement import PackingError, bin_pack_plan
+from repro.cluster.scheduler import SchedulingError, SharedFleetScheduler
+from repro.cluster.vm import D1, D2, D3
+from repro.dataflow.builder import TopologyBuilder
+from repro.elastic import ControllerConfig
+from repro.experiments.multi import default_budget_slots, run_multi_experiment, surge_window
+from repro.multi import ClusterManager, ScaleArbiter
+from repro.sim import Simulator
+from repro.workloads.profiles import StepProfile
+
+from tests.conftest import fast_config
+
+
+def chain(name: str = "chain", parallelism: int = 1, rate: float = 8.0, latency_s: float = 0.005):
+    """A fast source->work->sink chain for manager tests."""
+    builder = TopologyBuilder(name)
+    builder.add_source("source", rate=rate)
+    builder.add_task("work", parallelism=parallelism, latency_s=latency_s, stateful=True)
+    builder.add_sink("sink")
+    builder.chain("source", "work", "sink")
+    return builder.build()
+
+
+def worker_cluster(sim, d2_count=3):
+    provider = CloudProvider(sim)
+    cluster = Cluster()
+    for vm in provider.provision(D2, d2_count, name_prefix="w"):
+        cluster.add_vm(vm)
+    return provider, cluster
+
+
+# ---------------------------------------------------------------- bin-packing
+class TestBinPacking:
+    def test_prefers_partially_filled_vms(self, sim):
+        _, cluster = worker_cluster(sim, d2_count=3)
+        cluster.vm("w-002").slots[0].assign("other#0")  # partially filled
+        plan = bin_pack_plan(["a#0", "b#0"], cluster)
+        # The free slot of the partially filled VM is used before any empty VM.
+        assert plan.vm_of("a#0") == "w-002"
+        assert plan.vm_of("b#0") == "w-001"
+
+    def test_never_reassigns_occupied_slots(self, sim):
+        _, cluster = worker_cluster(sim, d2_count=2)
+        occupied = cluster.vm("w-001").slots[0]
+        occupied.assign("other#0")
+        plan = bin_pack_plan(["a#0", "b#0", "c#0"], cluster)
+        assert occupied.slot_id not in plan.slot_to_vm or plan.slot_to_vm[occupied.slot_id]
+        assert occupied.slot_id not in set(plan.assignments.values())
+
+    def test_full_fleet_raises(self, sim):
+        _, cluster = worker_cluster(sim, d2_count=1)
+        with pytest.raises(PackingError):
+            bin_pack_plan(["a#0", "b#0", "c#0"], cluster)
+
+    def test_exclude_vms_and_pinning(self, sim):
+        provider, cluster = worker_cluster(sim, d2_count=2)
+        util = provider.provision(D3, 1, name_prefix="util")[0]
+        util.tags["role"] = "util:t"
+        cluster.add_vm(util)
+        # Pinned executors land on the (excluded) util VM; unpinned never do.
+        plan = bin_pack_plan(
+            ["src#0", "a#0", "b#0"],
+            cluster,
+            pinned={"src#0": util.vm_id},
+            exclude_vms={util.vm_id},
+        )
+        assert plan.vm_of("src#0") == util.vm_id
+        assert all(plan.vm_of(e) != util.vm_id for e in ("a#0", "b#0"))
+
+    def test_shared_fleet_scheduler_dynamic_exclusions(self, sim):
+        _, cluster = worker_cluster(sim, d2_count=2)
+        scheduler = SharedFleetScheduler(lambda: {"w-001"})
+        plan = scheduler.schedule(["a#0", "b#0"], cluster)
+        assert {plan.vm_of("a#0"), plan.vm_of("b#0")} == {"w-002"}
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(["a#0", "b#0", "c#0"], cluster)
+
+
+# ---------------------------------------------------------------- arbitration
+class TestScaleArbiter:
+    def make(self, sim=None, budget=20, max_concurrent=1, d2_count=2):
+        sim = sim or Simulator()
+        provider, cluster = worker_cluster(sim, d2_count=d2_count)
+        arbiter = ScaleArbiter(cluster, budget_slots=budget,
+                               max_concurrent_migrations=max_concurrent)
+        return provider, cluster, arbiter
+
+    def test_registration_required_and_validated(self):
+        _, _, arbiter = self.make()
+        with pytest.raises(KeyError):
+            arbiter.propose("ghost", "out", 2, now=0.0)
+        arbiter.register_tenant("a")
+        with pytest.raises(ValueError):
+            arbiter.register_tenant("a")
+        with pytest.raises(ValueError):
+            arbiter.register_tenant("b", weight=0.0)
+
+    def test_budget_contention_never_double_provisions(self):
+        # Fleet has 4 physical slots, budget 12: either tenant's 6-slot
+        # proposal fits alone, but granting both would double-provision past
+        # the cap -- the second must wait for the first to release.
+        provider, cluster, arbiter = self.make(budget=12, max_concurrent=2)
+        arbiter.register_tenant("a")
+        arbiter.register_tenant("b")
+        assert arbiter.propose("a", "out", 6, now=0.0).granted
+        decision = arbiter.propose("b", "out", 6, now=1.0)
+        assert not decision.granted
+        assert decision.reason == "budget"
+        assert arbiter.committed_slots() <= arbiter.budget_slots
+        assert arbiter.max_committed_slots <= arbiter.budget_slots
+
+        # A provisions (reservation becomes physical -- no double counting).
+        new_vms = provider.provision(D1, 6, name_prefix="a-d1")
+        for vm in new_vms:
+            cluster.add_vm(vm)
+        arbiter.notify_provisioned("a", [vm.vm_id for vm in new_vms])
+        assert arbiter.committed_slots() == 10  # 4 original + 6 new, no reservation
+        # Still over budget for b until a releases its old fleet.
+        assert not arbiter.propose("b", "out", 6, now=2.0).granted
+        arbiter.notify_complete("a")
+        for vm_id in ("w-001", "w-002"):
+            provider.release_from(cluster, vm_id)
+        assert arbiter.propose("b", "out", 6, now=3.0).granted
+        assert arbiter.max_committed_slots <= arbiter.budget_slots
+
+    def test_concurrent_migration_serialization(self):
+        _, _, arbiter = self.make(budget=100)
+        arbiter.register_tenant("a")
+        arbiter.register_tenant("b")
+        assert arbiter.propose("a", "out", 4, now=0.0).granted
+        decision = arbiter.propose("b", "out", 4, now=1.0)
+        assert not decision.granted and decision.reason == "migration-in-flight"
+        arbiter.notify_complete("a")
+        assert arbiter.propose("b", "out", 4, now=2.0).granted
+
+    def test_in_flight_tenant_cannot_propose_again(self):
+        _, _, arbiter = self.make(budget=100, max_concurrent=2)
+        arbiter.register_tenant("a")
+        assert arbiter.propose("a", "out", 4, now=0.0).granted
+        assert not arbiter.propose("a", "out", 4, now=1.0).granted
+
+    def test_preemption_by_priority(self):
+        """Freed capacity goes to the waiting high-priority tenant first,
+        even though the low-priority tenant asked earlier."""
+        _, _, arbiter = self.make(budget=100)
+        arbiter.register_tenant("low", priority=1)
+        arbiter.register_tenant("high", priority=5)
+        arbiter.register_tenant("runner", priority=1)
+        assert arbiter.propose("runner", "out", 4, now=0.0).granted
+        assert not arbiter.propose("low", "out", 4, now=1.0).granted   # waits
+        assert not arbiter.propose("high", "out", 4, now=2.0).granted  # waits
+        arbiter.notify_complete("runner")
+        decision = arbiter.propose("low", "out", 4, now=3.0)
+        assert not decision.granted and decision.reason == "yield-to-higher-priority"
+        assert arbiter.propose("high", "out", 4, now=4.0).granted
+        # With the high-priority tenant served (and done), low gets through.
+        arbiter.notify_complete("high")
+        assert arbiter.propose("low", "out", 4, now=5.0).granted
+
+    def test_proportional_share_fallback(self):
+        """Among equal priorities, the tenant holding fewer slots per unit
+        of weight wins the next grant."""
+        _, _, arbiter = self.make(budget=100)
+        arbiter.register_tenant("heavy", holdings_fn=lambda: 12)
+        arbiter.register_tenant("light", holdings_fn=lambda: 2)
+        arbiter.register_tenant("runner")
+        assert arbiter.propose("runner", "out", 4, now=0.0).granted
+        assert not arbiter.propose("heavy", "out", 4, now=1.0).granted
+        assert not arbiter.propose("light", "out", 4, now=2.0).granted
+        arbiter.notify_complete("runner")
+        decision = arbiter.propose("heavy", "out", 4, now=3.0)
+        assert not decision.granted and decision.reason == "proportional-share"
+        assert arbiter.propose("light", "out", 4, now=4.0).granted
+
+    def test_withdraw_clears_waiting_claim(self):
+        _, _, arbiter = self.make(budget=100)
+        arbiter.register_tenant("a", priority=5)
+        arbiter.register_tenant("b", priority=1)
+        arbiter.register_tenant("runner", priority=1)
+        assert arbiter.propose("runner", "out", 4, now=0.0).granted
+        assert not arbiter.propose("a", "out", 4, now=1.0).granted
+        arbiter.notify_complete("runner")
+        arbiter.withdraw("a")  # a's surge ended; its claim must not block b
+        assert arbiter.propose("b", "out", 4, now=2.0).granted
+
+    def test_retiring_vms_published_and_cleared(self):
+        _, _, arbiter = self.make(budget=100)
+        arbiter.register_tenant("a")
+        assert arbiter.propose("a", "out", 4, now=0.0).granted
+        arbiter.notify_migration_started("a", ["w-001"])
+        assert arbiter.retiring_vms == {"w-001"}
+        arbiter.notify_complete("a")
+        assert arbiter.retiring_vms == set()
+
+
+# -------------------------------------------------------------------- manager
+class TestClusterManager:
+    def two_tenant_manager(self, budget=40, **tenant_kwargs):
+        manager = ClusterManager(budget_slots=budget, provisioning_latency_s=1.0,
+                                 fleet_sample_interval_s=5.0)
+        for name, parallelism in (("alpha", 3), ("beta", 3)):
+            manager.add_tenant(
+                name,
+                chain(name=name, parallelism=parallelism),
+                strategy="ccr",
+                config=fast_config("ccr", seed=11),
+                controller_config=ControllerConfig(
+                    check_interval_s=5.0, confirm_samples=2, cooldown_s=10.0
+                ),
+                **tenant_kwargs,
+            )
+        return manager
+
+    def test_colocation_saves_vms_vs_private_roundup(self):
+        manager = self.two_tenant_manager()
+        manager.deploy()
+        # 3 + 3 instances share ceil(6/2) = 3 D2s; private fleets would round
+        # up to 2 + 2 = 4.
+        fleet = manager.cluster.describe()
+        assert fleet["D2"] == 3
+        alpha_vms = set(manager.tenant("alpha").runtime.placement.vms_used)
+        beta_vms = set(manager.tenant("beta").runtime.placement.vms_used)
+        # At least one worker VM hosts both tenants (true co-location).
+        assert (alpha_vms & beta_vms) - {
+            manager.tenant("alpha").util_vm_id, manager.tenant("beta").util_vm_id
+        }
+
+    def test_each_tenant_gets_its_own_util_vm(self):
+        manager = self.two_tenant_manager()
+        manager.deploy()
+        alpha, beta = manager.tenant("alpha"), manager.tenant("beta")
+        assert alpha.util_vm_id != beta.util_vm_id
+        for tenant in (alpha, beta):
+            placement = tenant.runtime.placement
+            for executor in list(tenant.runtime.source_executors) + list(tenant.runtime.sink_executors):
+                assert placement.vm_of(executor.executor_id) == tenant.util_vm_id
+            # No user task ever lands on any util VM.
+            for executor in tenant.runtime.user_executors:
+                assert placement.vm_of(executor.executor_id) not in (
+                    alpha.util_vm_id, beta.util_vm_id
+                )
+
+    def test_budget_too_small_for_tenants_rejected(self):
+        manager = self.two_tenant_manager(budget=5)
+        with pytest.raises(ValueError, match="budget"):
+            manager.deploy()
+
+    def test_budget_check_accounts_for_whole_vm_roundup(self):
+        """An odd instance total provisions one extra D2 slot; a budget that
+        admits the instances but not the provisioned fleet must be rejected
+        up front, not breach the arbiter invariant at t=0."""
+        manager = ClusterManager(budget_slots=5)
+        manager.add_tenant("odd", chain(name="odd", parallelism=3))  # 3 instances
+        # 3 instances fit in 5, but 2 whole D2s = 4 slots do fit: deploy ok.
+        manager.deploy()
+        assert manager.arbiter.committed_slots() <= 5
+
+        tight = ClusterManager(budget_slots=5)
+        tight.add_tenant("odd", chain(name="odd", parallelism=5))  # 5 instances
+        # 5 instances round up to 3 D2s = 6 provisioned slots > 5.
+        with pytest.raises(ValueError, match="provisioned"):
+            tight.deploy()
+
+    def test_add_tenant_after_deploy_rejected(self):
+        manager = self.two_tenant_manager()
+        manager.deploy()
+        with pytest.raises(RuntimeError):
+            manager.add_tenant("late", chain(name="late"))
+
+    def test_offset_surges_scale_both_tenants_under_budget(self):
+        manager = ClusterManager(budget_slots=30, provisioning_latency_s=1.0,
+                                 fleet_sample_interval_s=5.0)
+        for index, name in enumerate(("alpha", "beta")):
+            surge_start = 40.0 + 80.0 * index
+            manager.add_tenant(
+                name,
+                chain(name=name, parallelism=1),
+                strategy="ccr",
+                profile=StepProfile(steps=[(0.0, 8.0), (surge_start, 24.0),
+                                           (surge_start + 60.0, 8.0)]),
+                config=fast_config("ccr", seed=23),
+                controller_config=ControllerConfig(
+                    check_interval_s=5.0, confirm_samples=2, cooldown_s=20.0
+                ),
+            )
+        manager.deploy()
+        manager.start()
+        manager.run(until=240.0)
+        manager.stop()
+
+        for name in ("alpha", "beta"):
+            controller = manager.tenant(name).controller
+            outs = [a for a in controller.actions if a.direction == "out"]
+            assert outs, f"tenant {name} never scaled out"
+            assert all(a.is_complete for a in controller.actions[:-1])
+        # The budget invariant held at every instant the arbiter accounted.
+        assert manager.arbiter.max_committed_slots <= manager.arbiter.budget_slots
+        assert all(s.worker_slots <= manager.arbiter.budget_slots
+                   for s in manager.fleet_samples)
+
+    def test_tight_budget_defers_but_never_exceeds(self):
+        manager = ClusterManager(budget_slots=10, provisioning_latency_s=1.0,
+                                 fleet_sample_interval_s=5.0)
+        # Both tenants surge together on a budget with room for only one
+        # expansion: the arbiter must defer one, and the cap must hold.
+        for name in ("alpha", "beta"):
+            manager.add_tenant(
+                name,
+                chain(name=name, parallelism=1),
+                strategy="ccr",
+                profile=StepProfile(steps=[(0.0, 8.0), (40.0, 24.0)]),
+                config=fast_config("ccr", seed=29),
+                controller_config=ControllerConfig(
+                    check_interval_s=5.0, confirm_samples=2, cooldown_s=20.0
+                ),
+            )
+        manager.deploy()
+        manager.start()
+        manager.run(until=120.0)
+        manager.stop()
+
+        deferrals = manager.arbiter.deferrals()
+        assert deferrals, "contending surges on a tight budget must defer someone"
+        assert manager.arbiter.max_committed_slots <= 10
+        assert all(s.worker_slots <= 10 for s in manager.fleet_samples)
+
+
+# ------------------------------------------------------------------ experiment
+class TestMultiExperiment:
+    def test_surge_windows_are_offset(self):
+        for i in range(3):
+            start, end = surge_window(600.0, i)
+            assert 0 < start < end < 600.0
+            if i:
+                prev_start, prev_end = surge_window(600.0, i - 1)
+                assert start > prev_start and start < prev_end + 600.0 * 0.22
+
+    def test_default_budget_admits_all_tenants(self):
+        budget = default_budget_slots(["traffic", "grid"], 2.0)
+        assert budget >= 13 + 21
+
+    def test_acceptance_two_dags_offset_surges_vs_private_baseline(self):
+        """The ISSUE acceptance: >=2 dataflows with offset surges on one
+        shared fleet; the arbiter never exceeds the budget or overlaps
+        migrations; per-tenant latency/utilization is reported vs. the
+        private-fleet baseline."""
+        result = run_multi_experiment(
+            dags=("traffic", "linear"),
+            strategy="ccr",
+            duration_s=400.0,
+            surge_multiplier=2.0,
+            elastic_parallelism=True,
+        )
+        shared = result.shared
+        assert len(shared.tenants) == 2
+
+        # Every tenant rode its surge: at least one completed scale-out each.
+        for name, summary in shared.tenants.items():
+            outs = [a for a in summary.actions if a.direction == "out"]
+            assert outs, f"tenant {name} never scaled out"
+            assert summary.receipts > 0
+            assert result.surge_windows[name][1] <= 400.0
+
+        # Budget and serialization invariants.
+        assert shared.max_committed_slots <= shared.budget_slots
+        assert all(s.worker_slots <= shared.budget_slots for s in shared.fleet_samples)
+        assert shared.max_concurrent_migrations() <= 1
+
+        # The private baseline exists and the comparison is computable.
+        assert set(result.private) == set(shared.tenants)
+        for name in shared.tenants:
+            ratio = result.latency_ratio(name)
+            assert ratio is not None and ratio > 0
+        assert shared.mean_utilization > 0
+        assert result.private_mean_utilization is not None
+        assert result.private_total_cost > 0
+
+    def test_priorities_validated(self):
+        with pytest.raises(ValueError, match="priorities"):
+            run_multi_experiment(dags=("traffic", "grid"), priorities=(1,),
+                                 include_private_baseline=False, duration_s=60.0)

@@ -110,3 +110,63 @@ class TestStructures:
         assert a is not b
         a.task("parse").parallelism = 99
         assert b.task("parse").parallelism == 1
+
+
+class TestKeyedVariants:
+    """FIELDS-grouped variants of the application DAGs (per-entity state)."""
+
+    @pytest.mark.parametrize("name,base,keyed_tasks", [
+        ("traffic-keyed", "traffic", {"traffic_state"}),
+        ("grid-keyed", "grid", {"forecast_merge", "demand_predict"}),
+    ])
+    def test_structure_matches_base_dag(self, name, base, keyed_tasks):
+        keyed = topologies.by_name(name)
+        plain = topologies.by_name(base)
+        assert keyed.total_instances() == plain.total_instances()
+        assert {t.name for t in keyed.user_tasks} == {t.name for t in plain.user_tasks}
+        assert {(e.src, e.dst) for e in keyed.edges} == {(e.src, e.dst) for e in plain.edges}
+        for edge in keyed.edges:
+            expected = (
+                topologies.Grouping.FIELDS
+                if edge.dst in keyed_tasks
+                else next(e for e in plain.edges
+                          if (e.src, e.dst) == (edge.src, edge.dst)).grouping
+            )
+            assert edge.grouping is expected, (edge.src, edge.dst)
+
+    def test_source_payloads_carry_stable_keys(self):
+        keyed = topologies.by_name("traffic-keyed")
+        factory = keyed.sources[0].payload_factory
+        assert factory(3)["key"] == factory(3 + topologies.KEYED_NUM_KEYS)["key"]
+        assert factory(1)["key"] != factory(2)["key"]
+
+    def test_keyed_registry_does_not_leak_into_paper_matrix(self):
+        assert "traffic-keyed" not in topologies.PAPER_TOPOLOGIES
+        assert "traffic-keyed" not in PAPER_ORDER
+        assert "traffic-keyed" in topologies.ALL_TOPOLOGIES
+        with pytest.raises(KeyError):
+            topologies.by_name("linear-keyed")
+
+    def test_keyed_state_partitions_by_field_hash_at_runtime(self):
+        """Run the keyed traffic DAG briefly: every per-key counter lives on
+        exactly the instance FIELDS routing sends that key to."""
+        from repro.dataflow.grouping import stable_field_index
+        from repro.reliability.repartition import PARTITIONED_STATE_KEY
+        from tests.conftest import make_runtime
+
+        dataflow = topologies.traffic_keyed(latency_s=0.005)
+        runtime = make_runtime(dataflow=dataflow, worker_vms=7)
+        runtime.start()
+        runtime.sim.run(until=20.0)
+        runtime.stop_sources()
+        runtime.sim.run(until=30.0)
+
+        task = dataflow.task("traffic_state")
+        seen_keys = 0
+        for index in range(task.parallelism):
+            executor = runtime.executors[f"traffic_state#{index}"]
+            counts = executor.state.get(PARTITIONED_STATE_KEY, {})
+            for key in counts:
+                assert stable_field_index(key, task.parallelism) == index
+            seen_keys += len(counts)
+        assert seen_keys > 0, "keyed state never materialized"
