@@ -8,6 +8,12 @@ the per-benchmark means plus enough context (commit, branch, timestamp,
 machine) to chart the perf trajectory across PRs — the 2x CI gate only
 catches cliffs; the trend file is the substrate for spotting slow drift.
 
+When ``results/BENCH_predictive.json`` exists (written by the CI ``repro
+predict --json`` smoke run), its headline numbers — per-policy SLO-violation
+seconds, riding the ``mean_s`` field — are folded into the same entry, so
+the trend chart tracks the control plane's SLO behaviour across PRs next to
+the engine timings.
+
 In CI the ``engine-benchmarks`` job restores the previous trend file from
 the actions cache (``bench-trend-*`` prefix restore), runs this script right
 after the regression gate, saves the grown file back to the cache under a
@@ -30,6 +36,7 @@ from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 DEFAULT_CURRENT = HERE.parent / "results" / "BENCH_engine.json"
+DEFAULT_PREDICTIVE = HERE.parent / "results" / "BENCH_predictive.json"
 DEFAULT_TREND = HERE.parent / "results" / "BENCH_trend.json"
 
 #: Cap so a long-lived local history cannot grow without bound.
@@ -49,6 +56,9 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT,
                         help="BENCH_engine.json produced by the benchmark run")
+    parser.add_argument("--predictive", type=Path, default=DEFAULT_PREDICTIVE,
+                        help="BENCH_predictive.json produced by the 'repro predict --json' "
+                             "smoke run (merged when present)")
     parser.add_argument("--trend", type=Path, default=DEFAULT_TREND,
                         help="trend JSON to append to (created if absent)")
     args = parser.parse_args()
@@ -59,16 +69,27 @@ def main() -> int:
         return 2
 
     current = json.loads(args.current.read_text(encoding="utf-8"))
+    benchmarks = {
+        name: {"mean_s": stats["mean_s"], "stddev_s": stats.get("stddev_s")}
+        for name, stats in current.get("benchmarks", {}).items()
+    }
+    if args.predictive.exists():
+        try:
+            predictive = json.loads(args.predictive.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            print(f"warning: {args.predictive} was unreadable; skipping predictive numbers",
+                  file=sys.stderr)
+            predictive = {}
+        for name, stats in predictive.get("benchmarks", {}).items():
+            if isinstance(stats, dict) and "mean_s" in stats:
+                benchmarks[name] = {"mean_s": stats["mean_s"], "stddev_s": stats.get("stddev_s")}
     entry = {
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "commit": os.environ.get("GITHUB_SHA") or _git("rev-parse", "HEAD") or None,
         "branch": os.environ.get("GITHUB_REF_NAME") or _git("rev-parse", "--abbrev-ref", "HEAD") or None,
         "python": current.get("python"),
         "machine": current.get("machine"),
-        "benchmarks": {
-            name: {"mean_s": stats["mean_s"], "stddev_s": stats.get("stddev_s")}
-            for name, stats in current.get("benchmarks", {}).items()
-        },
+        "benchmarks": benchmarks,
     }
 
     trend = []

@@ -125,13 +125,17 @@ def matrix() -> ExperimentMatrix:
     fast = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
     post = 240.0 if fast else 540.0
     shared = ExperimentMatrix(migrate_at_s=90.0, post_migration_s=post, seed=2018)
-    # Opt-in parallel prefetch: cells are hermetic, so the whole matrix fans
-    # out across processes with bit-identical figure output.  Off by default
-    # because it computes all 30 cells even for a selective run and moves the
-    # experiment work out of the fig tests' measured (pedantic) region;
-    # REPRO_BENCH_JOBS=0 uses one worker per core, N>0 exactly N workers.
+    # Parallel prefetch: cells are hermetic, so the whole matrix fans out
+    # across processes with bit-identical figure output.  Default: one worker
+    # per core whenever the machine has more than one (a full benchmark
+    # session reads every cell anyway, so prefetching all 30 is never wasted
+    # work there).  REPRO_BENCH_JOBS overrides: 0 = one worker per core,
+    # 1 = serial in-process computation, N>1 = exactly N workers.
     jobs_env = os.environ.get("REPRO_BENCH_JOBS")
     if jobs_env is not None:
         jobs = int(jobs_env)
-        shared.prefetch(processes=jobs if jobs > 0 else None)
+        if jobs != 1:
+            shared.prefetch(processes=jobs if jobs > 0 else None)
+    elif (os.cpu_count() or 1) > 1:
+        shared.prefetch(processes=None)
     return shared

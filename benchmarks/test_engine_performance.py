@@ -190,3 +190,60 @@ def test_grid_steady_state_simulation_cost(benchmark, engine_bench_recorder):
     # 32 ev/s for ~10 s minus pipeline fill.
     assert receipts > 200
     engine_bench_recorder("grid_steady_state", benchmark)
+
+
+def _sink_drain_runtime(batch_max: int) -> TopologyRuntime:
+    """A deployed minimal chain whose sink is about to drain a deep queue."""
+    builder = TopologyBuilder("sinkdrain")
+    builder.add_source("source", rate=1.0)
+    builder.add_task("work", parallelism=1, latency_s=0.001)
+    builder.add_sink("sink")
+    builder.chain("source", "work", "sink")
+    sim = Simulator()
+    cluster = build_cluster(sim, worker_vms=2)
+    config = fast_config("dcr")
+    config.sink_batch_max = batch_max
+    runtime = TopologyRuntime(builder.build(), cluster, sim=sim, config=config)
+    runtime.deploy()
+    for executor in runtime.executors.values():
+        if executor.task.name != "source":  # keep the generator quiet
+            executor.start()
+    return runtime
+
+
+def _drain_sink(batch_max: int, num_events: int = 20_000) -> int:
+    """Flood the sink's input queue and drain it; returns receipts recorded."""
+    runtime = _sink_drain_runtime(batch_max)
+    deliver = runtime.deliver
+    for i in range(num_events):
+        event = Event.data("work", payload={"seq": i}, created_at=0.0)
+        deliver("sink#0", event, "work#0")
+    runtime.sim.run()
+    return len(runtime.log.sink_receipts)
+
+
+def test_sink_drain_batched(benchmark, engine_bench_recorder):
+    """Cost of a 20k-event sink backlog drain with batched service.
+
+    Consecutive data events coalesce into one kernel callback per batch
+    (``sink_batch_max``), mirroring the router's same-channel delivery
+    batching; receipts keep their exact per-event completion times.
+    """
+    receipts = benchmark.pedantic(
+        lambda: _drain_sink(batch_max=32), rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert receipts == 20_000
+    engine_bench_recorder("sink_drain_batched", benchmark)
+
+
+def test_sink_drain_unbatched(benchmark, engine_bench_recorder):
+    """The same drain with batching disabled: one kernel event per completion.
+
+    The batched/unbatched mean ratio in ``BENCH_engine.json`` is the win of
+    the executor batch-service path.
+    """
+    receipts = benchmark.pedantic(
+        lambda: _drain_sink(batch_max=0), rounds=5, iterations=1, warmup_rounds=1
+    )
+    assert receipts == 20_000
+    engine_bench_recorder("sink_drain_unbatched", benchmark)

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro experiment --dag grid --strategy ccr --scaling in
     python -m repro elastic --dag traffic --strategy ccr --profile surge
     python -m repro rescale --dag grid --strategy ccr --surge 2.0
+    python -m repro predict --dag grid --profile surge --slo 30
     python -m repro multi --dags traffic,grid --strategy ccr
     python -m repro figure table1
     python -m repro figure fig5 --scaling out --jobs 4
@@ -17,13 +18,15 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
 monitor, planner and controller) and prints the scaling timeline plus the
 cloud bill; ``rescale`` rides one surge twice -- once with capacity-adding
 parallelism rescale, once with the paper's placement-only scaling -- and
-prints the side-by-side latency/backlog comparison; ``multi`` hosts several
-dataflows as tenants of one shared, budget-arbitrated fleet (offset surges)
-and compares every tenant against its private-fleet baseline; ``figure``
-regenerates one of the paper's tables/figures (the same drivers the
-benchmark harness uses, ``--jobs N`` fans the experiment matrix out across
-processes) and prints the reproduced rows next to the paper's published
-values.
+prints the side-by-side latency/backlog comparison; ``predict`` rides one
+dynamism scenario once per forecast policy (reactive / EWMA / Holt-Winters /
+profile lookahead) and prints the SLO-violation / provisioning-lead-time /
+cost comparison; ``multi`` hosts several dataflows as tenants of one shared,
+budget-arbitrated fleet (offset surges) and compares every tenant against
+its private-fleet baseline; ``figure`` regenerates one of the paper's
+tables/figures (the same drivers the benchmark harness uses, ``--jobs N``
+fans the experiment matrix out across processes) and prints the reproduced
+rows next to the paper's published values.
 """
 
 from __future__ import annotations
@@ -34,10 +37,13 @@ from typing import List, Optional
 
 from repro.dataflow import topologies
 from repro.elastic import ControllerConfig
+from repro.elastic.forecast import FORECAST_POLICIES
+from repro.experiments.predictive import DEFAULT_POLICIES
 from repro.experiments import (
     run_elastic_experiment,
     run_migration_experiment,
     run_multi_experiment,
+    run_predictive_experiment,
     run_rescale_experiment,
 )
 from repro.experiments.figures import (
@@ -215,6 +221,67 @@ def _cmd_rescale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_predict(args: argparse.Namespace) -> int:
+    if args.duration <= 0:
+        print("repro predict: error: --duration must be positive", file=sys.stderr)
+        return 2
+    if args.slo <= 0:
+        print("repro predict: error: --slo must be positive", file=sys.stderr)
+        return 2
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    unknown = [p for p in policies if p not in FORECAST_POLICIES]
+    if unknown:
+        print(f"repro predict: error: unknown forecast policy(s) {unknown}; choose from "
+              f"{sorted(FORECAST_POLICIES)}", file=sys.stderr)
+        return 2
+    result = run_predictive_experiment(
+        dag=args.dag,
+        strategy=args.strategy,
+        profile=args.profile,
+        policies=policies,
+        surge_multiplier=args.surge,
+        duration_s=args.duration,
+        seed=args.seed,
+        slo_latency_s=args.slo,
+        placement=args.placement,
+    )
+
+    window = ""
+    if result.surge_start_s is not None:
+        window = (f", {args.surge:g}x surge over "
+                  f"[{result.surge_start_s:.0f}s, {result.surge_end_s:.0f}s]")
+    print(f"Predictive comparison: {args.dag} / {args.strategy} / profile={args.profile}"
+          f"{window} of a {args.duration:.0f}s run, SLO {args.slo:g}s sink latency")
+    print()
+    print(format_table(
+        [summary.as_dict() for summary in result.runs.values()],
+        title="Forecast policies (lead_s > 0 = provisioned before the surge landed)",
+    ))
+    print()
+    for summary in result.runs.values():
+        for action in summary.result.actions:
+            trigger = "SLO breach" if action.slo_escalated else "rate"
+            print(f"  {summary.policy:13s} scale-{action.direction} at t={action.decided_at:7.1f}s "
+                  f"({action.from_tier}->{action.to_tier}) trigger={trigger} "
+                  f"forecast={action.forecast_rate:.1f} ev/s observed={action.observed_rate:.1f} ev/s")
+    baseline = result.reactive
+    best = result.best_predictive()
+    if baseline is not None and best is not None:
+        saved = result.violation_improvement_s(best.policy)
+        print()
+        if saved is not None and saved > 0:
+            print(f"Best predictive policy ({best.policy}): {saved:.0f}s fewer SLO-violation "
+                  f"seconds than reactive ({best.slo_violation_s:.0f}s vs "
+                  f"{baseline.slo_violation_s:.0f}s).")
+        else:
+            print("No predictive policy beat the reactive baseline on this scenario "
+                  "(try a longer horizon, a stronger surge, or the lookahead oracle).")
+    if args.json:
+        path = result.write_headline_json(args.json)
+        print(f"\n[headline numbers written to {path}]")
+    return 0
+
+
 def _cmd_multi(args: argparse.Namespace) -> int:
     if args.duration <= 0:
         print("repro multi: error: --duration must be positive", file=sys.stderr)
@@ -247,6 +314,7 @@ def _cmd_multi(args: argparse.Namespace) -> int:
         priorities=priorities,
         elastic_parallelism=not args.placement_only,
         include_private_baseline=not args.no_baseline,
+        placement=args.placement,
     )
     shared = result.shared
 
@@ -388,6 +456,33 @@ def build_parser() -> argparse.ArgumentParser:
     rescale.add_argument("--seed", type=int, default=2018)
     rescale.set_defaults(func=_cmd_rescale)
 
+    predict = sub.add_parser(
+        "predict",
+        help="compare reactive vs predictive (forecast-driven) scaling policies",
+    )
+    predict.add_argument("--dag", default="grid", choices=sorted(topologies.ALL_TOPOLOGIES))
+    predict.add_argument("--strategy", default="ccr", choices=("dsm", "dcr", "ccr"))
+    predict.add_argument("--profile", default="surge",
+                         choices=("surge", "step", "ramp", "diurnal", "burst"),
+                         help="dynamism scenario (surge/step/ramp use --surge as the multiplier)")
+    predict.add_argument("--policies", default=",".join(DEFAULT_POLICIES),
+                         help="comma-separated forecast policies to compare")
+    predict.add_argument("--surge", type=float, default=2.0,
+                         help="surge multiplier applied to the baseline source rate")
+    predict.add_argument("--duration", type=float, default=600.0,
+                         help="total simulated run time (seconds)")
+    predict.add_argument("--slo", type=float, default=30.0,
+                         help="sink-latency SLO in seconds (scored and used as the overload trigger); "
+                              "the default separates surge meltdown from ordinary migration transients")
+    predict.add_argument("--placement", default="incremental",
+                         choices=("full-replace", "incremental"),
+                         help="place stage used by every run")
+    predict.add_argument("--json", default="",
+                         help="also write the headline numbers to this JSON file "
+                              "(fed into the CI perf-trend accumulation)")
+    predict.add_argument("--seed", type=int, default=2018)
+    predict.set_defaults(func=_cmd_predict)
+
     multi = sub.add_parser(
         "multi",
         help="run several dataflows on one shared, budget-arbitrated fleet",
@@ -408,6 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict tenants to the paper's placement-only scaling "
                             "(default: capacity-adding parallelism rescale, which actually "
                             "absorbs the surges)")
+    multi.add_argument("--placement", default="full-replace",
+                       choices=("full-replace", "incremental"),
+                       help="per-tenant place stage: 'incremental' keeps unchanged "
+                            "instances in place and lets consolidations re-use "
+                            "partially-free shared VMs instead of provisioning a fresh fleet")
     multi.add_argument("--no-baseline", action="store_true", dest="no_baseline",
                        help="skip the per-tenant private-fleet baseline runs")
     multi.add_argument("--seed", type=int, default=2018)

@@ -155,6 +155,72 @@ def bin_pack_plan(
     return plan
 
 
+def incremental_plan(
+    executor_ids: Sequence[str],
+    cluster: "Cluster",
+    old_plan: PlacementPlan,
+    target_vm_ids: Sequence[str],
+    preplaced: Optional[PlacementPlan] = None,
+) -> PlacementPlan:
+    """Rescale-aware placement: keep unchanged assignments, place only the delta.
+
+    Every executor whose current assignment (per ``old_plan``) already lives
+    on one of the ``target_vm_ids`` **keeps its slot** -- the rebalance then
+    classifies it as *staying*, so it is neither killed nor restarted.  Only
+    executors that are new (spawned by a rescale) or stranded on a
+    non-target VM are placed, onto free slots of the target VMs in the order
+    given (retained fleet first, then the freshly provisioned delta), each VM
+    filled in slot order.
+
+    A slot counts as free when it is unoccupied *or* occupied by one of the
+    executors this plan is relocating (the rebalance releases those slots
+    before applying the new assignments); slots held by anyone else -- a
+    co-located tenant on a shared fleet -- are never touched.
+
+    ``preplaced`` carries assignments decided outside this packing (pinned
+    sources/sinks on the util VM); they are copied into the result verbatim.
+
+    Raises :class:`PackingError` when the target VMs cannot host the delta.
+    """
+    plan = preplaced.copy() if preplaced is not None else PlacementPlan()
+    used_slots: Set[str] = set(plan.assignments.values())
+    targets = set(target_vm_ids)
+
+    moving: List[str] = []
+    for executor_id in executor_ids:
+        old_slot = old_plan.assignments.get(executor_id)
+        if (
+            old_slot is not None
+            and old_slot not in used_slots
+            and old_plan.slot_to_vm.get(old_slot) in targets
+        ):
+            plan.assign(executor_id, old_slot, old_plan.slot_to_vm[old_slot])
+            used_slots.add(old_slot)
+        else:
+            moving.append(executor_id)
+
+    moving_set = set(moving)
+    free: List[Tuple[str, str]] = []
+    for vm_id in target_vm_ids:
+        if vm_id not in cluster:
+            raise PackingError(f"target VM {vm_id} is not in the cluster")
+        for slot in cluster.vm(vm_id).slots:
+            if slot.slot_id in used_slots:
+                continue
+            if slot.occupied and slot.executor_id not in moving_set:
+                continue
+            free.append((vm_id, slot.slot_id))
+    if len(moving) > len(free):
+        raise PackingError(
+            f"target VMs cannot host the {len(moving)} relocating executors: "
+            f"only {len(free)} free slots"
+        )
+    for executor_id, (vm_id, slot_id) in zip(moving, free):
+        plan.assign(executor_id, slot_id, vm_id)
+        used_slots.add(slot_id)
+    return plan
+
+
 def placement_diff(old: PlacementPlan, new: PlacementPlan) -> Tuple[Set[str], Set[str], Set[str]]:
     """Compare two plans and classify executors.
 

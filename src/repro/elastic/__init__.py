@@ -1,26 +1,52 @@
-"""Closed-loop elasticity: monitor, allocation planner and autoscaling controller.
+"""Closed-loop elasticity: the staged, predictive, SLO-aware control plane.
 
 The paper motivates DSM/DCR/CCR with input-rate dynamism -- latency-sensitive
 dataflows that must scale in or out as traffic changes -- but scopes the
 *decision* of when and where to scale out of the migration problem.  This
-package supplies that missing loop for the reproduction:
+package supplies that missing loop as an explicit pipeline of pluggable
+stages (``sense -> forecast -> plan -> place -> act``):
 
-* :class:`~repro.elastic.monitor.ElasticityMonitor` samples the observed
-  source rate, executor queue backlogs and sink latency from the event log;
-* :class:`~repro.elastic.planner.AllocationPlanner` applies the paper's
-  one-instance-per-8-ev/s rule and Table-1 style D1/D2/D3 packing to pick a
-  target allocation tier for the observed rate;
-* :class:`~repro.elastic.controller.ElasticityController` debounces the
-  signal (hysteresis + cooldown), provisions the target VMs, computes the new
-  placement with the existing scheduler, enacts it with any registered
+* :class:`~repro.elastic.monitor.ElasticityMonitor` (**sense**) samples the
+  observed source rate, executor queue backlogs and sink latency from the
+  event log, measures per-task runtime service rates, and tracks the
+  sink-latency SLO signal;
+* :mod:`repro.elastic.forecast` (**forecast**) predicts the offered rate a
+  provisioning horizon ahead: :class:`~repro.elastic.forecast.ReactivePolicy`
+  (the identity forecast -- the original behaviour),
+  :class:`~repro.elastic.forecast.EwmaPolicy`,
+  :class:`~repro.elastic.forecast.HoltWintersPolicy` and the oracle
+  :class:`~repro.elastic.forecast.ProfileLookaheadPolicy`;
+* :class:`~repro.elastic.planner.AllocationPlanner` (**plan**) applies the
+  paper's one-instance-per-8-ev/s rule and Table-1 style D1/D2/D3 packing to
+  the *forecast* demand, with an SLO-breach override that scales out on a
+  sustained latency breach even when the rate alone is in band;
+* :mod:`repro.elastic.policy` (**place**) turns the target into a fleet and
+  a placement: :class:`~repro.elastic.policy.FullReplacePlacement` (the
+  paper's re-fleet) or :class:`~repro.elastic.policy.IncrementalPlacement`
+  (keep unchanged instances, place only the delta);
+* :class:`~repro.elastic.controller.ElasticityController` (**act**) is a
+  thin driver: it debounces the pipeline's decisions (hysteresis + cooldown
+  + drain guard), provisions what the place stage requests, enacts the
+  migration with any registered
   :class:`~repro.core.strategy.MigrationStrategy`, and deprovisions the
   vacated VMs so scale-in actually reduces the bill.
 
 :func:`repro.experiments.elastic.run_elastic_experiment` assembles the whole
-loop for one run; the ``repro elastic`` CLI subcommand drives it.
+loop for one run; :func:`repro.experiments.predictive.run_predictive_experiment`
+compares the forecast policies head to head; the ``repro elastic`` and
+``repro predict`` CLI subcommands drive them.
 """
 
 from repro.elastic.controller import ControllerConfig, ElasticityController, ScalingAction
+from repro.elastic.forecast import (
+    FORECAST_POLICIES,
+    EwmaPolicy,
+    ForecastPolicy,
+    HoltWintersPolicy,
+    ProfileLookaheadPolicy,
+    ReactivePolicy,
+    forecast_policy_by_name,
+)
 from repro.elastic.monitor import ElasticityMonitor, MonitorSample
 from repro.elastic.planner import (
     TIER_ORDER,
@@ -28,15 +54,48 @@ from repro.elastic.planner import (
     TargetAllocation,
     plan_user_tasks_on,
 )
+from repro.elastic.policy import (
+    PLACEMENT_POLICIES,
+    ControlPipeline,
+    DemandForecast,
+    FullReplacePlacement,
+    IncrementalPlacement,
+    PlacementPolicy,
+    PlanDecision,
+    PlanStage,
+    ProvisioningRequest,
+    SenseReading,
+    SenseStage,
+    placement_policy_by_name,
+)
 
 __all__ = [
     "AllocationPlanner",
+    "ControlPipeline",
     "ControllerConfig",
+    "DemandForecast",
     "ElasticityController",
     "ElasticityMonitor",
+    "EwmaPolicy",
+    "FORECAST_POLICIES",
+    "ForecastPolicy",
+    "FullReplacePlacement",
+    "HoltWintersPolicy",
+    "IncrementalPlacement",
     "MonitorSample",
+    "PLACEMENT_POLICIES",
+    "PlacementPolicy",
+    "PlanDecision",
+    "PlanStage",
+    "ProfileLookaheadPolicy",
+    "ProvisioningRequest",
+    "ReactivePolicy",
     "ScalingAction",
+    "SenseReading",
+    "SenseStage",
     "TargetAllocation",
     "TIER_ORDER",
+    "forecast_policy_by_name",
+    "placement_policy_by_name",
     "plan_user_tasks_on",
 ]

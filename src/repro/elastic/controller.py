@@ -1,16 +1,20 @@
-"""The autoscaling controller: closes the loop from monitor to migration.
+"""The autoscaling controller: a thin driver over the control-plane pipeline.
 
-Every check interval the controller takes a monitor sample, asks the
-planner which allocation tier the observed input rate calls for, and --
-after the configured hysteresis has confirmed the signal and any cooldown
-has expired -- enacts the change:
+Every check interval the controller runs the staged decision pipeline
+(:class:`~repro.elastic.policy.ControlPipeline`: ``sense -> forecast ->
+plan``), and -- after the configured hysteresis has confirmed the signal and
+any cooldown has expired -- enacts the change through the pipeline's *place*
+stage:
 
-1. **provision** the target VMs through the :class:`CloudProvider` (billing
-   starts immediately; the migration waits for the modelled provisioning
-   latency, as the paper's experiments provision target VMs before issuing
-   the migration request);
-2. **plan** the new placement with the runtime's existing scheduler (user
-   tasks onto the new VMs only; sources/sinks stay pinned);
+1. **provision** the VMs the place stage requests through the
+   :class:`CloudProvider` (billing starts immediately; the migration waits
+   for the modelled provisioning latency, as the paper's experiments
+   provision target VMs before issuing the migration request).  The default
+   :class:`~repro.elastic.policy.FullReplacePlacement` provisions the whole
+   target fleet; :class:`~repro.elastic.policy.IncrementalPlacement` keeps
+   the current fleet on a grow and provisions only the delta;
+2. **plan** the new placement via the place stage (sources/sinks stay
+   pinned);
 3. **migrate** with the configured, pluggable
    :class:`~repro.core.strategy.MigrationStrategy` (DSM, DCR or CCR) --
    issuing a *combined rescale + migrate* decision when the planner runs
@@ -35,6 +39,14 @@ Two signals make the loop **drain-aware**:
   consolidating a dataflow that is still absorbing a surge would strand the
   very backlog it is draining on a smaller allocation.
 
+Beyond the reactive threshold rule, the pipeline makes the loop
+**predictive and SLO-aware**: a forecast policy (EWMA / Holt-Winters /
+profile lookahead) sizes capacity for the demand a provisioning horizon
+ahead, and a sustained sink-latency SLO breach escalates to a scale-out even
+when the input rate alone is in band.  With the defaults (reactive forecast,
+no SLO, full-replace placement) the behaviour is bit-identical to the
+pre-pipeline controller.
+
 Subclasses can reroute capacity through an external authority (the
 multi-tenant :class:`~repro.multi.tenant.TenantController` asks a
 :class:`~repro.multi.arbiter.ScaleArbiter` before provisioning) by
@@ -45,18 +57,19 @@ overriding :meth:`ElasticityController._acquire_capacity` and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Type
+from typing import Dict, List, Optional, Type
 
 from repro.cluster.cloud import CloudProvider
 from repro.cluster.vm import VM_TYPES
 from repro.core.strategy import MigrationReport, MigrationStrategy
+from repro.elastic.forecast import ForecastPolicy
 from repro.elastic.monitor import ElasticityMonitor, MonitorSample
 from repro.elastic.planner import (
     TIER_ORDER,
     AllocationPlanner,
     TargetAllocation,
-    plan_user_tasks_on,
 )
+from repro.elastic.policy import ControlPipeline, PlacementPolicy, PlanDecision
 from repro.engine.runtime import TopologyRuntime
 
 
@@ -79,6 +92,34 @@ class ControllerConfig:
     #: disables the guard).  Scale-outs are never held -- extra capacity only
     #: helps a drain.
     drain_guard_backlog_s: Optional[float] = 5.0
+    #: Forecast stage: named demand forecaster (see
+    #: :data:`~repro.elastic.forecast.FORECAST_POLICIES`).  ``reactive`` is
+    #: the identity forecast -- the original controller behaviour.
+    forecast_policy: str = "reactive"
+    #: How far ahead the forecaster predicts (seconds).  ``None`` derives the
+    #: horizon from the provisioning latency plus the hysteresis window --
+    #: the earliest a decision taken now can become ready capacity.
+    forecast_horizon_s: Optional[float] = None
+    #: Forecasts within this fraction of the observed rate snap to the
+    #: observed rate (smoothing noise must not read as pressure; see
+    #: :meth:`~repro.elastic.policy.ForecastStage.forecast`).
+    forecast_deadband: float = 0.05
+    #: Sink-latency SLO (seconds of mean end-to-end latency); ``None``
+    #: disables SLO tracking and the overload override.
+    slo_latency_s: Optional[float] = None
+    #: Consecutive SLO-breaching samples before the overload override may
+    #: escalate an in-band plan.
+    slo_confirm_samples: int = 2
+    #: Demand multiplier the SLO override plans with (capacity headroom to
+    #: actually drain the backlog the breach built).
+    slo_headroom: float = 1.5
+    #: Whether measured per-task service rates are fed back into the planner
+    #: (closing the heterogeneous-latency loop).  Off by default: the paper's
+    #: 1-per-8-ev/s sizing rule stays authoritative unless asked otherwise.
+    capacity_feedback: bool = False
+    #: Place stage: ``full-replace`` (the paper's re-fleet, the default) or
+    #: ``incremental`` (keep unchanged instances, place only the delta).
+    placement: str = "full-replace"
 
     def __post_init__(self) -> None:
         if self.check_interval_s <= 0:
@@ -89,6 +130,16 @@ class ControllerConfig:
             raise ValueError("cooldown_s must be non-negative")
         if self.drain_guard_backlog_s is not None and self.drain_guard_backlog_s < 0:
             raise ValueError("drain_guard_backlog_s must be non-negative (or None)")
+        if self.forecast_horizon_s is not None and self.forecast_horizon_s < 0:
+            raise ValueError("forecast_horizon_s must be non-negative (or None)")
+        if self.forecast_deadband < 0:
+            raise ValueError("forecast_deadband must be non-negative")
+        if self.slo_latency_s is not None and self.slo_latency_s <= 0:
+            raise ValueError("slo_latency_s must be positive (or None)")
+        if self.slo_confirm_samples < 1:
+            raise ValueError("slo_confirm_samples must be at least 1")
+        if self.slo_headroom <= 1.0:
+            raise ValueError("slo_headroom must be above 1")
 
 
 @dataclass
@@ -107,6 +158,17 @@ class ScalingAction:
     observed_rate: float
     #: The planner's allocation behind the decision.
     target: TargetAllocation
+    #: Forecast demand (ev/s) the plan was sized for (equals
+    #: ``observed_rate`` under the reactive policy).
+    forecast_rate: Optional[float] = None
+    #: Whether the latency-SLO override escalated this decision (the input
+    #: rate alone would not have triggered it).
+    slo_escalated: bool = False
+    #: VM flavour -> count the place stage asked to provision fresh (equals
+    #: ``target.vm_counts`` under full-replace placement).
+    provision_counts: Dict[str, int] = field(default_factory=dict)
+    #: Existing worker VMs the place stage retained (incremental placement).
+    kept_vm_ids: List[str] = field(default_factory=list)
     provisioned_vm_ids: List[str] = field(default_factory=list)
     deprovisioned_vm_ids: List[str] = field(default_factory=list)
     #: When the migration request was issued (after provisioning).
@@ -119,6 +181,17 @@ class ScalingAction:
     def is_complete(self) -> bool:
         """Whether the migration protocol for this action has finished."""
         return self.completed_at is not None
+
+    @property
+    def provision_slots(self) -> int:
+        """New VM slots this action will provision -- what an arbiter budgets.
+
+        Equals the full target fleet under full-replace placement and only
+        the delta under incremental placement (retained VMs are already in
+        the fleet's physical accounting); a consolidation that re-uses free
+        shared slots provisions zero.
+        """
+        return sum(VM_TYPES[name].slots * count for name, count in self.provision_counts.items())
 
 
 class ElasticityController:
@@ -133,6 +206,9 @@ class ElasticityController:
         strategy_cls: Type[MigrationStrategy],
         config: Optional[ControllerConfig] = None,
         initial_tier: str = "baseline",
+        pipeline: Optional[ControlPipeline] = None,
+        forecast_policy: Optional[ForecastPolicy] = None,
+        placement: Optional[PlacementPolicy] = None,
     ) -> None:
         if initial_tier not in TIER_ORDER:
             raise ValueError(f"unknown tier {initial_tier!r}; choose from {sorted(TIER_ORDER)}")
@@ -142,6 +218,21 @@ class ElasticityController:
         self.planner = planner
         self.strategy_cls = strategy_cls
         self.config = config if config is not None else ControllerConfig()
+        #: The staged decision path.  A fully assembled pipeline may be
+        #: injected; otherwise one is built from the config, with optional
+        #: ``forecast_policy`` / ``placement`` instances overriding the
+        #: config's named choices (a lookahead policy carries the workload's
+        #: profile; a shared-fleet placer carries the manager's exclusions).
+        if pipeline is None:
+            pipeline = ControlPipeline.from_config(
+                monitor,
+                planner,
+                self.config,
+                provisioning_latency_s=provider.provisioning_latency_s,
+                forecast_policy=forecast_policy,
+                placement=placement,
+            )
+        self.pipeline = pipeline
         self.tier = initial_tier
         self.actions: List[ScalingAction] = []
         self._timer = None
@@ -174,11 +265,17 @@ class ElasticityController:
 
     # ------------------------------------------------------------ control loop
     def _tick(self) -> None:
-        sample = self.monitor.sample_now()
+        # Stage 1: sense.  The forecast policy observes *every* reading --
+        # including ticks skipped below -- so its series has no gaps.
+        reading = self.pipeline.sense()
+        self.pipeline.observe(reading)
+        sample = reading.sample
         if self._migration_in_flight or sample.sources_paused:
             return
 
-        target = self.planner.plan(sample.offered_rate, current_tier=self.tier)
+        # Stages 2+3: forecast the demand and size the target allocation.
+        decision = self.pipeline.decide(reading, current_tier=self.tier)
+        target = decision.target
         # A change is pending when the tier moves *or* the demand calls for a
         # parallelism change within the same tier (e.g. a second surge on an
         # already-expanded deployment still has to add instances).
@@ -198,7 +295,7 @@ class ElasticityController:
             return
         if self._direction_of(target) == "in" and self._drain_guard_holds(sample):
             return
-        self._enact(target, sample)
+        self._enact(decision, sample)
 
     def _direction_of(self, target: TargetAllocation) -> str:
         """``out`` (adding capacity) or ``in`` (consolidating) for a target."""
@@ -223,14 +320,23 @@ class ElasticityController:
         return backlog > guard_s * max(sample.offered_rate, 1.0)
 
     # -------------------------------------------------------------- enactment
-    def _enact(self, target: TargetAllocation, sample: MonitorSample) -> None:
+    def _enact(self, decision: PlanDecision, sample: MonitorSample) -> None:
+        target = decision.target
+        direction = self._direction_of(target)
+        # Stage 4: place.  The place stage decides what to provision fresh
+        # and which of the current worker VMs keep serving.
+        request = self.pipeline.place.provisioning(self.runtime, target, direction)
         action = ScalingAction(
-            direction=self._direction_of(target),
+            direction=direction,
             from_tier=self.tier,
             to_tier=target.tier,
             decided_at=self.runtime.sim.now,
             observed_rate=sample.offered_rate,
             target=target,
+            forecast_rate=decision.forecast.rate_ev_s,
+            slo_escalated=decision.slo_escalated,
+            provision_counts=dict(request.vm_counts),
+            kept_vm_ids=list(request.keep_vm_ids),
         )
         if not self._acquire_capacity(action):
             # Capacity withheld (an arbiter deferred us): keep the confirmed
@@ -244,13 +350,13 @@ class ElasticityController:
         self.runtime.sim.schedule(delay, self._start_migration, action)
 
     def _acquire_capacity(self, action: ScalingAction) -> bool:
-        """Provision the target fleet for an action; ``False`` defers it.
+        """Provision the requested fleet for an action; ``False`` defers it.
 
         Billing for the new fleet starts now; the migration request waits for
         the VMs to come up.  Subclasses may consult an external authority and
         return ``False`` to leave the decision pending.
         """
-        for type_name, count in sorted(action.target.vm_counts.items()):
+        for type_name, count in sorted(action.provision_counts.items()):
             vm_type = VM_TYPES[type_name]
             for vm in self.provider.provision(vm_type, count, name_prefix=type_name.lower()):
                 self.runtime.cluster.add_vm(vm)
@@ -259,15 +365,18 @@ class ElasticityController:
 
     def _start_migration(self, action: ScalingAction) -> None:
         # Worker VMs in use before the migration; vacated ones are released
-        # once the protocol completes.  The util VM never migrates.  Sorted:
-        # ``vms_used`` is a set, and release/record order must not depend on
-        # PYTHONHASHSEED (cross-process reproducibility).
-        provisioned = set(action.provisioned_vm_ids)
+        # once the protocol completes.  VMs the place stage retained and the
+        # util VM never migrate.  Sorted: ``vms_used`` is a set, and
+        # release/record order must not depend on PYTHONHASHSEED
+        # (cross-process reproducibility).
+        retained = set(action.provisioned_vm_ids) | set(action.kept_vm_ids)
         old_vm_ids = [
             vm_id
             for vm_id in sorted(self.runtime.placement.vms_used)
-            if vm_id != self.runtime.util_vm_id and vm_id not in provisioned
+            if vm_id != self.runtime.util_vm_id and vm_id not in retained
         ]
+        target_vm_ids = list(action.kept_vm_ids) + list(action.provisioned_vm_ids)
+        place = self.pipeline.place
         strategy = self.strategy_cls(self.runtime)
         action.enacted_at = self.runtime.sim.now
         self._migration_starting(action, old_vm_ids)
@@ -276,12 +385,12 @@ class ElasticityController:
             # the strategy has applied the parallelism change (the executor
             # set it places does not exist yet), so pass a plan factory.
             action.report = strategy.migrate(
-                lambda runtime: plan_user_tasks_on(runtime, action.provisioned_vm_ids),
+                lambda runtime: place.placement_plan(runtime, target_vm_ids),
                 on_complete=lambda report: self._migration_complete(action, old_vm_ids, report),
                 rescale=action.target.rescale,
             )
         else:
-            new_plan = plan_user_tasks_on(self.runtime, action.provisioned_vm_ids)
+            new_plan = place.placement_plan(self.runtime, target_vm_ids)
             action.report = strategy.migrate(
                 new_plan,
                 on_complete=lambda report: self._migration_complete(action, old_vm_ids, report),

@@ -11,12 +11,25 @@ experiment harness keeps them as the run's timeline.
 Sampling is incremental: the event log is append-only and time-ordered, so
 the monitor remembers how far it has read and never rescans the whole log
 (sampling stays O(new events) even on very long runs).
+
+Two *sense*-stage signals for the predictive control plane live here too:
+
+* :meth:`ElasticityMonitor.measured_capacities_ev_s` -- per-task runtime
+  service rates (events completed per second of busy time), measured from
+  the live executors.  Feeding these back into the
+  :class:`~repro.elastic.planner.AllocationPlanner` closes the
+  heterogeneous-latency loop: a task whose real service rate differs from
+  its declared (or defaulted) ``capacity_ev_s`` is sized by what it actually
+  does;
+* :meth:`ElasticityMonitor.slo_violation_seconds` -- how much of the run the
+  mean sink latency spent above a latency SLO, the headline metric of the
+  predictive-vs-reactive comparison.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.engine.runtime import TopologyRuntime
 
@@ -132,3 +145,50 @@ class ElasticityMonitor:
         if not considered:
             return None
         return sum(considered) / len(considered)
+
+    def measured_capacities_ev_s(self) -> Dict[str, float]:
+        """Per-task measured service rates (ev/s per busy instance).
+
+        Aggregates every live user executor's cumulative ``processed_count``
+        against its cumulative busy time, so the rate reflects what the task
+        *actually* sustains at runtime rather than what was declared.  Tasks
+        that have not completed any work yet are omitted (the planner keeps
+        its declared/default capacity for them).
+        """
+        processed: Dict[str, int] = {}
+        busy: Dict[str, float] = {}
+        for executor in self.runtime.user_executors:
+            task_name = executor.task.name
+            processed[task_name] = processed.get(task_name, 0) + executor.processed_count
+            busy[task_name] = busy.get(task_name, 0.0) + executor.busy_time_s
+        return {
+            task_name: processed[task_name] / busy[task_name]
+            for task_name in processed
+            if processed[task_name] > 0 and busy[task_name] > 0.0
+        }
+
+    def slo_violation_seconds(self, slo_latency_s: float) -> float:
+        """Seconds of the sampled run whose mean sink latency exceeded the SLO.
+
+        Each sample covers the interval since its predecessor; intervals whose
+        mean end-to-end latency was above ``slo_latency_s`` count in full.
+        Intervals in which nothing reached a sink count as violations only
+        when events were visibly stuck (a non-empty backlog with no output is
+        an outage, not idleness).
+        """
+        if slo_latency_s <= 0:
+            raise ValueError(f"slo_latency_s must be positive, got {slo_latency_s}")
+        violation = 0.0
+        previous_time: Optional[float] = None
+        for sample in self.samples:
+            interval = self.interval_s if previous_time is None else sample.time - previous_time
+            previous_time = sample.time
+            if sample.avg_latency_s is not None:
+                breached = sample.avg_latency_s > slo_latency_s
+            else:
+                breached = sample.output_rate == 0.0 and (
+                    sample.queue_backlog > 0 or sample.source_backlog > 0
+                )
+            if breached:
+                violation += interval
+        return violation

@@ -98,6 +98,9 @@ class AllocationPlanner:
         self.instance_capacity_ev_s = instance_capacity_ev_s
         self.expand_pressure = expand_pressure
         self.consolidate_pressure = consolidate_pressure
+        #: Runtime-measured per-task service rates, fed back by the control
+        #: pipeline's sense stage (empty unless capacity feedback is on).
+        self.measured_capacities_ev_s: Dict[str, float] = {}
         self.task_capacities_ev_s: Dict[str, float] = dict(task_capacities_ev_s or {})
         for task_name, capacity in self.task_capacities_ev_s.items():
             if task_name not in dataflow:
@@ -116,16 +119,31 @@ class AllocationPlanner:
             raise ValueError("dataflow sources must declare a positive rate")
 
     # ------------------------------------------------------------------ rules
+    def set_measured_capacities(self, measured: Mapping[str, float]) -> None:
+        """Feed runtime-measured per-task service rates into sizing.
+
+        Called by the control pipeline's sense stage when capacity feedback
+        is enabled; unknown task names and non-positive rates are ignored (a
+        task that has not processed anything yet keeps its declared value).
+        """
+        for task_name, rate in measured.items():
+            if rate > 0 and task_name in self.dataflow:
+                self.measured_capacities_ev_s[task_name] = rate
+
     def capacity_for(self, task: Task) -> float:
         """Per-instance service capacity (ev/s) used to size ``task``.
 
         Resolution order: an explicit ``task_capacities_ev_s`` entry, the
+        runtime-measured rate (when capacity feedback filled it in), the
         task's own ``capacity_ev_s`` declaration, then the planner's global
         default (the paper's Table-1 value of 8 ev/s).
         """
         explicit = self.task_capacities_ev_s.get(task.name)
         if explicit is not None:
             return explicit
+        measured = self.measured_capacities_ev_s.get(task.name)
+        if measured is not None:
+            return measured
         if task.capacity_ev_s is not None:
             return task.capacity_ev_s
         return self.instance_capacity_ev_s

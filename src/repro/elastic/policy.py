@@ -1,0 +1,505 @@
+"""The staged control-plane pipeline: ``sense -> forecast -> plan -> place``.
+
+The original :class:`~repro.elastic.controller.ElasticityController` decided
+everything inside one ``_tick``: sample the monitor, ask the planner, act.
+This module breaks that decision path into four pluggable stages, each behind
+a small interface, so policies can be swapped without touching the actuation
+machinery (hysteresis, cooldown, provisioning, migration, arbitration):
+
+* **sense** (:class:`SenseStage`) -- takes the monitor sample, measures
+  per-task runtime service rates (the heterogeneous-latency feedback loop)
+  and evaluates the sink-latency SLO signal;
+* **forecast** (:class:`ForecastStage`) -- feeds the offered rate to a
+  :class:`~repro.elastic.forecast.ForecastPolicy` and asks for the demand a
+  provisioning horizon ahead;
+* **plan** (:class:`PlanStage`) -- sizes capacity from the *forecast* demand
+  via the :class:`~repro.elastic.planner.AllocationPlanner`, then applies the
+  **SLO-breach override**: a sustained latency breach escalates to a
+  capacity-adding target even when the input rate alone is in band (the
+  overload-aware trigger the paper's latency-SLO motivation calls for);
+* **place** (:class:`PlacementPolicy`) -- turns a target allocation into a
+  provisioning request and a placement plan.  :class:`FullReplacePlacement`
+  reproduces the original behaviour (provision the whole target fleet, move
+  every user task onto it); :class:`IncrementalPlacement` keeps unchanged
+  task instances on their current VMs and provisions/places only the delta,
+  shrinking the forced-restart set and the migration's backlog window -- and,
+  on a shared fleet, lets a consolidating tenant re-use partially-free VMs
+  instead of provisioning a fresh private fleet.
+
+:class:`ControlPipeline` wires the stages together;
+:meth:`ControlPipeline.from_config` builds the default assembly from a
+:class:`~repro.elastic.controller.ControllerConfig`.  With the defaults
+(reactive forecast, no SLO, full-replace placement) the pipeline is
+bit-identical to the pre-refactor controller.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.cluster.placement import PlacementPlan, incremental_plan
+from repro.cluster.vm import VM_TYPES
+from repro.elastic.forecast import ForecastPolicy, forecast_policy_by_name
+from repro.elastic.monitor import ElasticityMonitor, MonitorSample
+from repro.elastic.planner import AllocationPlanner, TargetAllocation, plan_user_tasks_on
+from repro.engine.runtime import TopologyRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.elastic.controller import ControllerConfig
+
+
+# ------------------------------------------------------------------- sense
+@dataclass(frozen=True)
+class SenseReading:
+    """Everything one control tick observes about the running dataflow."""
+
+    sample: MonitorSample
+    #: Per-task measured service rates (ev/s per busy instance); empty unless
+    #: capacity feedback is enabled.
+    measured_capacities_ev_s: Mapping[str, float]
+    #: The configured sink-latency SLO (None = no SLO tracking).
+    slo_latency_s: Optional[float]
+    #: Whether this sample's mean sink latency breached the SLO.
+    slo_breached: bool
+
+
+class SenseStage:
+    """Samples the monitor and derives the control signals from it."""
+
+    def __init__(
+        self,
+        monitor: ElasticityMonitor,
+        slo_latency_s: Optional[float] = None,
+        measure_capacity: bool = False,
+    ) -> None:
+        self.monitor = monitor
+        self.slo_latency_s = slo_latency_s
+        self.measure_capacity = measure_capacity
+
+    def sense(self) -> SenseReading:
+        """Take one monitor sample and evaluate the derived signals."""
+        sample = self.monitor.sample_now()
+        measured: Mapping[str, float] = {}
+        if self.measure_capacity:
+            measured = self.monitor.measured_capacities_ev_s()
+        breached = (
+            self.slo_latency_s is not None
+            and sample.avg_latency_s is not None
+            and sample.avg_latency_s > self.slo_latency_s
+        )
+        return SenseReading(
+            sample=sample,
+            measured_capacities_ev_s=measured,
+            slo_latency_s=self.slo_latency_s,
+            slo_breached=breached,
+        )
+
+
+# ---------------------------------------------------------------- forecast
+@dataclass(frozen=True)
+class DemandForecast:
+    """The forecast stage's output for one tick."""
+
+    #: Predicted offered rate at ``now + horizon`` (what the planner sizes for).
+    rate_ev_s: float
+    horizon_s: float
+    #: The raw offered rate of the sample behind the forecast.
+    observed_rate_ev_s: float
+
+
+class ForecastStage:
+    """Feeds observations to a forecast policy and queries it per tick."""
+
+    def __init__(self, policy: ForecastPolicy, horizon_s: float, deadband_fraction: float = 0.05) -> None:
+        if horizon_s < 0:
+            raise ValueError(f"horizon_s must be non-negative, got {horizon_s}")
+        if deadband_fraction < 0:
+            raise ValueError(f"deadband_fraction must be non-negative, got {deadband_fraction}")
+        self.policy = policy
+        self.horizon_s = horizon_s
+        self.deadband_fraction = deadband_fraction
+
+    def observe(self, reading: SenseReading) -> None:
+        """Record one reading (paused samples carry a steady offered rate)."""
+        self.policy.observe(reading.sample.time, reading.sample.offered_rate)
+
+    def forecast(self, reading: SenseReading) -> DemandForecast:
+        """The demand to plan for, a provisioning horizon ahead of now.
+
+        Forecasts within ``deadband_fraction`` of the observed rate snap to
+        the observed rate: the 1-per-capacity sizing rule ceils every task's
+        instance count, so at exactly 100% utilization a +0.5% forecast
+        excursion (smoothing noise, a residual trend) would add an instance
+        to *every* task and read as a tier's worth of pressure.  Real surges
+        are well outside the band; noise is not.
+        """
+        rate = self.policy.forecast(reading.sample.time, self.horizon_s)
+        observed = reading.sample.offered_rate
+        if observed > 0 and abs(rate - observed) <= self.deadband_fraction * observed:
+            rate = observed
+        return DemandForecast(
+            rate_ev_s=rate,
+            horizon_s=self.horizon_s,
+            observed_rate_ev_s=observed,
+        )
+
+
+# -------------------------------------------------------------------- plan
+@dataclass(frozen=True)
+class PlanDecision:
+    """The plan stage's output: a target allocation plus its provenance."""
+
+    target: TargetAllocation
+    forecast: DemandForecast
+    #: Whether the SLO-breach override escalated an in-band plan.
+    slo_escalated: bool = False
+
+
+class PlanStage:
+    """Sizes capacity from the forecast demand, with an SLO-breach override."""
+
+    def __init__(
+        self,
+        planner: AllocationPlanner,
+        slo_confirm_samples: int = 2,
+        slo_headroom: float = 1.5,
+    ) -> None:
+        if slo_confirm_samples < 1:
+            raise ValueError("slo_confirm_samples must be at least 1")
+        if slo_headroom <= 1.0:
+            raise ValueError("slo_headroom must be above 1 (it buys extra capacity)")
+        self.planner = planner
+        self.slo_confirm_samples = slo_confirm_samples
+        self.slo_headroom = slo_headroom
+        self._breach_streak = 0
+        self._previous_backlog: Optional[int] = None
+
+    @property
+    def breach_streak(self) -> int:
+        """Consecutive SLO-breaching samples seen so far."""
+        return self._breach_streak
+
+    def plan(self, reading: SenseReading, forecast: DemandForecast, current_tier: str) -> PlanDecision:
+        """Pick the target allocation for one tick.
+
+        The planner is asked for the *forecast* demand; when measured
+        capacities are available they are fed back first, so heterogeneous
+        (and drifting) task service rates size the plan instead of the
+        declared defaults.  A latency-SLO breach sustained for
+        ``slo_confirm_samples`` ticks escalates an in-band plan to
+        ``max(forecast, observed) * slo_headroom``: overload shows up in the
+        sink latency long before the input rate leaves the band (slow tasks,
+        mis-declared capacities), and waiting for the rate trigger would let
+        the backlog compound.
+        """
+        if reading.measured_capacities_ev_s:
+            self.planner.set_measured_capacities(reading.measured_capacities_ev_s)
+        target = self.planner.plan(forecast.rate_ev_s, current_tier=current_tier)
+
+        # A breach only counts toward the override while the backlog is not
+        # draining: a post-migration drain also shows SLO-breaching latencies
+        # (old queued events finally reaching the sinks), but its backlog is
+        # shrinking -- capacity is adequate and another migration would only
+        # interrupt the recovery.  A *plateaued* backlog with breaching
+        # latency, by contrast, is a saturated deployment (service exactly
+        # keeping pace with arrivals, never absorbing the excess) and must
+        # still escalate.
+        backlog = reading.sample.queue_backlog + reading.sample.source_backlog
+        draining = self._previous_backlog is not None and backlog < self._previous_backlog
+        self._previous_backlog = backlog
+        if reading.slo_breached and not draining:
+            self._breach_streak += 1
+        else:
+            self._breach_streak = 0
+        slo_escalated = False
+        needs_nothing = target.tier == current_tier and target.rescale is None
+        if needs_nothing and self._breach_streak >= self.slo_confirm_samples:
+            demand = max(forecast.rate_ev_s, reading.sample.offered_rate) * self.slo_headroom
+            escalated = self.planner.plan(demand, current_tier=current_tier)
+            if escalated.tier != current_tier or escalated.rescale is not None:
+                target = escalated
+                slo_escalated = True
+        return PlanDecision(target=target, forecast=forecast, slo_escalated=slo_escalated)
+
+
+# ------------------------------------------------------------------- place
+@dataclass(frozen=True)
+class ProvisioningRequest:
+    """What the place stage wants acquired (and retained) for a target."""
+
+    #: VM flavour -> count to *provision fresh* for this action.  Slot
+    #: accounting lives on :attr:`ScalingAction.provision_slots`, where the
+    #: counts end up.
+    vm_counts: Dict[str, int]
+    #: Existing worker VMs to keep serving through (and after) the migration.
+    keep_vm_ids: Tuple[str, ...] = ()
+
+
+class PlacementPolicy:
+    """Base class of the *place* stage: target allocation -> fleet + plan."""
+
+    name = "abstract"
+
+    def provisioning(
+        self, runtime: TopologyRuntime, target: TargetAllocation, direction: str
+    ) -> ProvisioningRequest:
+        """Decide what to provision (and what to keep) for a target.
+
+        ``direction`` is the controller's classification of the action:
+        ``"out"`` (adding capacity) or ``"in"`` (consolidating).
+        """
+        raise NotImplementedError
+
+    def placement_plan(self, runtime: TopologyRuntime, target_vm_ids: List[str]) -> PlacementPlan:
+        """Place the (current, post-rescale) executor set on the target VMs."""
+        raise NotImplementedError
+
+
+class FullReplacePlacement(PlacementPolicy):
+    """The original behaviour: provision the whole target fleet, move everyone.
+
+    Every user task is scheduled onto the freshly provisioned VMs and every
+    previously used worker VM is vacated -- exactly what the pre-pipeline
+    controller did, kept as the default so existing runs reproduce bit for
+    bit.
+    """
+
+    name = "full-replace"
+
+    def provisioning(
+        self, runtime: TopologyRuntime, target: TargetAllocation, direction: str
+    ) -> ProvisioningRequest:
+        return ProvisioningRequest(vm_counts=dict(target.vm_counts))
+
+    def placement_plan(self, runtime: TopologyRuntime, target_vm_ids: List[str]) -> PlacementPlan:
+        return plan_user_tasks_on(runtime, target_vm_ids)
+
+
+class IncrementalPlacement(PlacementPolicy):
+    """Rescale-aware placement: keep unchanged instances, place only the delta.
+
+    On a **grow**, the current worker fleet is retained and only the missing
+    slots are provisioned in the target tier's flavour; executors whose slot
+    still exists on a retained VM keep it, so the rebalance restarts only the
+    genuinely new/moved instances (plus rescale survivors, whose keyed state
+    forces a restart anyway).  On a **shrink**, with ``reuse_free_slots`` the
+    surviving executor set is packed onto a minimal subset of the worker VMs
+    it can already reach -- on a shared fleet this is what lets a
+    consolidating tenant absorb into partially-free shared VMs instead of
+    provisioning a fresh private fleet; without it (or when the existing
+    fleet cannot host the target) the shrink falls back to the paper's
+    full-replacement re-fleet.
+
+    ``excluded_vms_fn`` optionally supplies VMs that must not be counted or
+    placed on (other tenants' util hosts, VMs a neighbour's in-flight
+    migration is retiring).
+    """
+
+    name = "incremental"
+
+    def __init__(
+        self,
+        reuse_free_slots: bool = False,
+        excluded_vms_fn: Optional[Callable[[], Set[str]]] = None,
+    ) -> None:
+        self.reuse_free_slots = reuse_free_slots
+        self._excluded_vms_fn = excluded_vms_fn
+
+    # ------------------------------------------------------------- internals
+    def _excluded(self, runtime: TopologyRuntime) -> Set[str]:
+        excluded: Set[str] = set()
+        if self._excluded_vms_fn is not None:
+            excluded |= self._excluded_vms_fn()
+        if runtime.util_vm_id is not None:
+            excluded.add(runtime.util_vm_id)
+        return excluded
+
+    @staticmethod
+    def _capacity_for_us(runtime: TopologyRuntime, vm) -> int:
+        """Slots on ``vm`` this runtime could fill: free ones plus its own.
+
+        Slots held by foreign executors (another tenant's) are off limits;
+        slots held by this runtime's executors are re-plannable (the
+        incremental plan will keep most of them in place).
+        """
+        ours = runtime.executors
+        return sum(
+            1 for slot in vm.slots if not slot.occupied or slot.executor_id in ours
+        )
+
+    def provisioning(
+        self, runtime: TopologyRuntime, target: TargetAllocation, direction: str
+    ) -> ProvisioningRequest:
+        if runtime.placement is None:
+            raise ValueError("runtime must be deployed before planning provisioning")
+        excluded = self._excluded(runtime)
+        used = runtime.placement.vms_used
+        # Cluster insertion order keeps the request deterministic.
+        current = [
+            vm for vm in runtime.cluster.vms
+            if vm.vm_id in used and vm.vm_id not in excluded
+        ]
+        needed = target.hosted_slots
+        growing = direction == "out"
+
+        if not growing and self.reuse_free_slots:
+            # Shrink: pack the survivors onto a minimal subset of the worker
+            # VMs we can already reach (most-loaded-by-us first, so the
+            # consolidation frees whole machines).  Falls back to a fresh
+            # fleet when the reachable capacity cannot host the target.
+            candidates = [
+                vm for vm in runtime.cluster.vms
+                if vm.vm_id not in excluded and (vm.vm_id in used or vm.free_slots)
+            ]
+            ranked = sorted(
+                enumerate(candidates),
+                key=lambda pair: (-self._capacity_for_us(runtime, pair[1]), pair[0]),
+            )
+            keep: List[str] = []
+            capacity = 0
+            for _, vm in ranked:
+                if capacity >= needed:
+                    break
+                vm_capacity = self._capacity_for_us(runtime, vm)
+                if vm_capacity <= 0:
+                    continue
+                keep.append(vm.vm_id)
+                capacity += vm_capacity
+            if capacity >= needed:
+                return ProvisioningRequest(vm_counts={}, keep_vm_ids=tuple(keep))
+            return ProvisioningRequest(vm_counts=dict(target.vm_counts))
+
+        if not growing:
+            # Shrink without shared-slot reuse: the paper's re-fleet (a fresh,
+            # smaller allocation in the consolidation flavour).
+            return ProvisioningRequest(vm_counts=dict(target.vm_counts))
+
+        # Grow: keep the whole current worker fleet and provision only the
+        # missing slots in the target tier's flavour.
+        keep_ids = tuple(vm.vm_id for vm in current)
+        capacity = sum(self._capacity_for_us(runtime, vm) for vm in current)
+        delta_slots = needed - capacity
+        vm_counts: Dict[str, int] = {}
+        if delta_slots > 0:
+            # The planner emits a single-flavour packing per tier.
+            flavour_name = next(iter(target.vm_counts))
+            flavour = VM_TYPES[flavour_name]
+            vm_counts[flavour_name] = int(math.ceil(delta_slots / flavour.slots))
+        return ProvisioningRequest(vm_counts=vm_counts, keep_vm_ids=keep_ids)
+
+    def placement_plan(self, runtime: TopologyRuntime, target_vm_ids: List[str]) -> PlacementPlan:
+        if runtime.placement is None:
+            raise ValueError("runtime must be deployed before planning a migration")
+        user_ids = [e.executor_id for e in runtime.user_executors]
+        pinned_plan = PlacementPlan()
+        for executor in list(runtime.source_executors) + list(runtime.sink_executors):
+            slot_id = runtime.placement.assignments[executor.executor_id]
+            pinned_plan.assign(executor.executor_id, slot_id, runtime.placement.slot_to_vm[slot_id])
+        return incremental_plan(
+            user_ids,
+            runtime.cluster,
+            old_plan=runtime.placement,
+            target_vm_ids=target_vm_ids,
+            preplaced=pinned_plan,
+        )
+
+
+#: Registry of the named placement policies ``ControllerConfig.placement`` accepts.
+PLACEMENT_POLICIES: Dict[str, Callable[[], PlacementPolicy]] = {
+    FullReplacePlacement.name: FullReplacePlacement,
+    IncrementalPlacement.name: IncrementalPlacement,
+}
+
+
+def placement_policy_by_name(name: str, **kwargs) -> PlacementPolicy:
+    """Construct a registered placement policy by name."""
+    try:
+        factory = PLACEMENT_POLICIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown placement policy {name!r}; choose from {sorted(PLACEMENT_POLICIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+# ---------------------------------------------------------------- pipeline
+class ControlPipeline:
+    """The assembled ``sense -> forecast -> plan -> place`` decision path.
+
+    The controller drives it once per control tick: :meth:`sense`, then
+    :meth:`observe` (so every policy sees every sample, including ticks the
+    controller skips mid-migration), then -- when a decision is wanted --
+    :meth:`decide`.  The *place* stage is consulted at enactment time by the
+    controller's capacity acquisition and migration-planning hooks.
+    """
+
+    def __init__(
+        self,
+        sense: SenseStage,
+        forecast: ForecastStage,
+        plan: PlanStage,
+        place: PlacementPolicy,
+    ) -> None:
+        self.sense_stage = sense
+        self.forecast_stage = forecast
+        self.plan_stage = plan
+        self.place = place
+
+    @classmethod
+    def from_config(
+        cls,
+        monitor: ElasticityMonitor,
+        planner: AllocationPlanner,
+        config: "ControllerConfig",
+        provisioning_latency_s: float = 30.0,
+        forecast_policy: Optional[ForecastPolicy] = None,
+        placement: Optional[PlacementPolicy] = None,
+    ) -> "ControlPipeline":
+        """Build the default pipeline for a controller configuration.
+
+        ``forecast_policy`` / ``placement`` instances override the config's
+        named choices (the elastic runner passes a profile-bound lookahead
+        policy this way; the multi-tenant manager passes an exclusion-aware
+        incremental placer).  The default horizon is one provisioning latency
+        plus the hysteresis window -- the earliest a confirmed decision can
+        turn into ready capacity.
+        """
+        if forecast_policy is None:
+            forecast_policy = forecast_policy_by_name(config.forecast_policy)
+        horizon = config.forecast_horizon_s
+        if horizon is None:
+            horizon = provisioning_latency_s + config.confirm_samples * config.check_interval_s
+        if placement is None:
+            placement = placement_policy_by_name(config.placement)
+        return cls(
+            sense=SenseStage(
+                monitor,
+                slo_latency_s=config.slo_latency_s,
+                measure_capacity=config.capacity_feedback,
+            ),
+            forecast=ForecastStage(
+                forecast_policy, horizon, deadband_fraction=config.forecast_deadband
+            ),
+            plan=PlanStage(
+                planner,
+                slo_confirm_samples=config.slo_confirm_samples,
+                slo_headroom=config.slo_headroom,
+            ),
+            place=placement,
+        )
+
+    # ------------------------------------------------------------- the stages
+    def sense(self) -> SenseReading:
+        """Stage 1: observe the dataflow."""
+        return self.sense_stage.sense()
+
+    def observe(self, reading: SenseReading) -> None:
+        """Feed the reading to the forecast policy (every tick, no skips)."""
+        self.forecast_stage.observe(reading)
+
+    def decide(self, reading: SenseReading, current_tier: str) -> PlanDecision:
+        """Stages 2+3: forecast the demand and size the target allocation."""
+        forecast = self.forecast_stage.forecast(reading)
+        return self.plan_stage.plan(reading, forecast, current_tier)

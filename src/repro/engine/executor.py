@@ -95,6 +95,7 @@ class Executor:
         "processed_count",
         "captured_count",
         "restored_count",
+        "busy_time_s",
         "_service_time",
     )
 
@@ -128,6 +129,11 @@ class Executor:
         self.processed_count = 0
         self.captured_count = 0
         self.restored_count = 0
+        #: Cumulative seconds spent servicing data events.  Together with
+        #: ``processed_count`` this yields the task's *measured* service rate
+        #: (ev/s per busy instance), which the elastic monitor feeds back into
+        #: capacity planning.
+        self.busy_time_s = 0.0
         # Per-event service time, fixed for the executor's lifetime (the
         # timing model and task latency are set before deployment).
         self._service_time = task.latency_s + runtime.timing.data_event_overhead_s
@@ -285,6 +291,7 @@ class Executor:
         if acked:
             runtime.acker.ack(ack_root_id, ack_event_id)
         self.processed_count += 1
+        self.busy_time_s += self._service_time
         self._busy = False
         if self.input_queue:
             self._maybe_process()
@@ -664,18 +671,49 @@ class SourceExecutor(Executor):
 
 
 class SinkExecutor(Executor):
-    """Sink task instance: records every received event in the event log."""
+    """Sink task instance: records every received event in the event log.
 
-    __slots__ = ("received_count",)
+    **Batch service**: a sink draining a deep input queue coalesces up to
+    ``RuntimeConfig.sink_batch_max`` consecutive data events into *one*
+    kernel callback, mirroring how the router batches same-channel
+    deliveries.  Each receipt is stamped with its exact per-event completion
+    time, so the *logged record stream* is identical to serial service.
+    Sinks are the one executor kind where this is safe: they emit nothing
+    downstream, so no routing (and no draw from the shared network-jitter
+    stream) is reordered.  Batching disables itself when data acking is on
+    (per-event ack timing is observable by the acker and the spout throttle)
+    or when the dataflow has several sink executors (interleaved receipts
+    must stay time-ordered in the indexed log).
+
+    One caveat for *mid-run* observers that slice the log by index (the
+    elasticity monitor): batched receipts are appended when the batch
+    callback fires, up to one batch-service window after their stamped
+    times.  With the repository's sink service time of zero the callback
+    fires at the same simulated instant the batch forms -- before any
+    later-timed sample can run -- so the skew is unobservable; it can only
+    appear when ``data_event_overhead_s`` is configured non-zero.
+    """
+
+    __slots__ = ("received_count", "_batch", "_batch_started_at", "_batch_enabled")
 
     def __init__(self, executor_id: str, task: SinkTask, instance_index: int, runtime: "TopologyRuntimeLike") -> None:
         super().__init__(executor_id, task, instance_index, runtime)
         self.received_count = 0
+        self._batch: Optional[List[Tuple[Event, str]]] = None
+        self._batch_started_at = 0.0
+        self._batch_enabled = False
 
-    def _complete_data(self, event: Event) -> None:
-        if self.status is not ExecutorStatus.RUNNING:
-            self._busy = False
-            return
+    def start(self) -> None:
+        # Evaluated at start (the full executor set exists by then): batching
+        # requires no data acking and a single sink executor (see class doc).
+        self._batch_enabled = (
+            getattr(self.runtime.config, "sink_batch_max", 0) > 1
+            and not self.runtime.ack_data_events
+            and len(self.runtime.sink_executors) == 1
+        )
+        super().start()
+
+    def _record_receipt(self, event: Event, at_time: Optional[float] = None) -> None:
         self.received_count += 1
         self.runtime.log.record_sink_receipt(
             root_id=event.root_id,
@@ -683,9 +721,86 @@ class SinkExecutor(Executor):
             sink=self.task.name,
             root_emitted_at=event.root_emitted_at,
             replay_count=event.replay_count,
+            at_time=at_time,
         )
-        self.runtime.ack_processed(event)
         self.processed_count += 1
+
+    def _maybe_process(self) -> None:
+        queue = self.input_queue
+        if self._busy or self.status is not ExecutorStatus.RUNNING or not queue:
+            return
+        if (
+            self._batch_enabled
+            and len(queue) > 1
+            and queue[0][0].kind is _DATA
+            and queue[1][0].kind is _DATA
+            and not self.capture_mode
+        ):
+            batch: List[Tuple[Event, str]] = []
+            limit = self.runtime.config.sink_batch_max
+            while queue and len(batch) < limit and queue[0][0].kind is _DATA:
+                batch.append(queue.popleft())
+            self._busy = True
+            self._batch = batch
+            self._batch_started_at = self.sim.now
+            self.sim.schedule_fast(self._service_time * len(batch), self._complete_batch, (batch,))
+            return
+        super()._maybe_process()
+
+    def _complete_batch(self, batch: List[Tuple[Event, str]]) -> None:
+        if batch is not self._batch:
+            # Stale callback: a kill/restart cleared (or replaced) the batch
+            # before this fired.  The current batch's own callback, if any,
+            # is still in flight.
+            return
+        self._batch = None
+        if self.status is not _RUNNING:
+            self._busy = False
+            return
+        service = self._service_time
+        time = self._batch_started_at
+        for event, _sender in batch:
+            time += service
+            self._record_receipt(event, at_time=time)
+        self._busy = False
+        self._maybe_process()
+
+    def kill(self) -> Tuple[int, int]:
+        batch = self._batch
+        self._batch = None
+        if batch:
+            # Reconstruct the serial-execution picture at kill time: events
+            # whose service already completed were received (record them with
+            # their exact times); the event in service is lost silently, just
+            # like a serially serviced one; the rest re-join the input queue
+            # so the kill accounting counts them as queued losses.
+            now = self.sim.now
+            service = self._service_time
+            time = self._batch_started_at
+            requeue: List[Tuple[Event, str]] = []
+            in_service_seen = False
+            for event, sender in batch:
+                time += service
+                if time <= now:
+                    self._record_receipt(event, at_time=time)
+                elif not in_service_seen:
+                    in_service_seen = True
+                else:
+                    requeue.append((event, sender))
+            for pair in reversed(requeue):
+                self.input_queue.appendleft(pair)
+        return super().kill()
+
+    def become_ready(self) -> None:
+        self._batch = None
+        super().become_ready()
+
+    def _complete_data(self, event: Event) -> None:
+        if self.status is not ExecutorStatus.RUNNING:
+            self._busy = False
+            return
+        self._record_receipt(event)
+        self.runtime.ack_processed(event)
         self._busy = False
         self._maybe_process()
 

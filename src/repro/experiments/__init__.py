@@ -21,6 +21,11 @@ scaling on the same surge profile.
 :mod:`repro.experiments.multi` hosts several dataflows as tenants of one
 shared, budget-arbitrated fleet (offset surges, bin-packed placement) and
 compares each tenant against its private-fleet baseline.
+
+:mod:`repro.experiments.predictive` compares the control pipeline's forecast
+policies (reactive / EWMA / Holt-Winters / profile lookahead) on one
+dynamism scenario, scoring SLO-violation seconds, provisioning lead time and
+cost.
 """
 
 from repro.experiments.scenarios import (
@@ -47,6 +52,11 @@ from repro.experiments.multi import (
     TenantSummary,
     run_multi_experiment,
 )
+from repro.experiments.predictive import (
+    PredictiveComparisonResult,
+    PredictiveRunSummary,
+    run_predictive_experiment,
+)
 from repro.experiments.figures import ExperimentMatrix
 from repro.experiments.formatting import format_table
 
@@ -57,6 +67,8 @@ __all__ = [
     "ManagedRunResult",
     "MigrationRunResult",
     "MultiExperimentResult",
+    "PredictiveComparisonResult",
+    "PredictiveRunSummary",
     "RescaleComparisonResult",
     "RescaleRunSummary",
     "ScenarioSpec",
@@ -67,6 +79,7 @@ __all__ = [
     "run_elastic_experiment",
     "run_migration_experiment",
     "run_multi_experiment",
+    "run_predictive_experiment",
     "run_rescale_experiment",
     "vm_counts_for",
 ]

@@ -32,8 +32,10 @@ from repro.elastic import (
     ControllerConfig,
     ElasticityController,
     ElasticityMonitor,
+    ForecastPolicy,
     MonitorSample,
     ScalingAction,
+    forecast_policy_by_name,
 )
 from repro.engine.config import RuntimeConfig
 from repro.engine.runtime import TopologyRuntime
@@ -55,6 +57,11 @@ class ElasticScenarioSpec:
     #: Whether the controller may change task parallelism (capacity-adding
     #: scaling) instead of only repacking fixed slots (the paper's scoping).
     elastic_parallelism: bool = False
+    #: Demand forecaster driving the control pipeline (``reactive`` is the
+    #: original threshold behaviour).  Deliberately not mixed into the seed:
+    #: runs differing only in policy share their random streams, so the
+    #: comparison isolates the policy.
+    forecast_policy: str = "reactive"
 
 
 @dataclass
@@ -139,6 +146,7 @@ def run_elastic_experiment(
     billing_granularity_s: float = 60.0,
     elastic_parallelism: bool = False,
     task_capacities_ev_s: Optional[dict] = None,
+    forecast_policy: Optional[Union[str, ForecastPolicy]] = None,
 ) -> ElasticRunResult:
     """Run one closed-loop elastic experiment.
 
@@ -154,12 +162,25 @@ def run_elastic_experiment(
     scale-in retires them.  Task parallelism of the supplied ``dataflow``
     may then be mutated by the run.  ``task_capacities_ev_s`` optionally maps
     task names to per-instance service rates for heterogeneous sizing.
+
+    ``forecast_policy`` selects the control pipeline's demand forecaster: a
+    registered name, a :class:`ForecastPolicy` instance, or ``None`` to use
+    the controller config's choice.  The ``lookahead`` policy is bound to the
+    run's total-rate profile automatically.
     """
     # Hermetic run: event ids restart at 1 so results do not depend on what
     # else ran in this process (see run_migration_experiment for the DSM
     # ack-hash rationale).
     reset_event_ids()
     profile_name = profile if isinstance(profile, str) else type(profile).__name__
+    if isinstance(forecast_policy, ForecastPolicy):
+        policy_name = forecast_policy.name
+    elif forecast_policy is not None:
+        policy_name = forecast_policy
+    elif controller_config is not None:
+        policy_name = controller_config.forecast_policy
+    else:
+        policy_name = "reactive"
     spec = ElasticScenarioSpec(
         dag=dag,
         strategy=strategy,
@@ -167,6 +188,7 @@ def run_elastic_experiment(
         duration_s=duration_s,
         seed=seed,
         elastic_parallelism=elastic_parallelism,
+        forecast_policy=policy_name,
     )
     strategy_cls = strategy_by_name(strategy)
     if config is None:
@@ -235,6 +257,13 @@ def run_elastic_experiment(
         runtime,
         interval_s=(controller_config or ControllerConfig()).check_interval_s,
     )
+    # Resolve the forecast policy to an instance here, where the run's
+    # total-rate profile is known (the lookahead oracle reads it).
+    resolved_policy: Optional[ForecastPolicy] = None
+    if isinstance(forecast_policy, ForecastPolicy):
+        resolved_policy = forecast_policy
+    elif policy_name != "reactive" or forecast_policy is not None:
+        resolved_policy = forecast_policy_by_name(policy_name, profile=rate_profile)
     controller = ElasticityController(
         runtime,
         provider,
@@ -243,6 +272,7 @@ def run_elastic_experiment(
         strategy_cls,
         config=controller_config,
         initial_tier="baseline",
+        forecast_policy=resolved_policy,
     )
     controller.start()
 

@@ -215,6 +215,7 @@ def _run_managed(
     elastic_parallelism: bool,
     provisioning_latency_s: float,
     max_concurrent_migrations: int,
+    placement: str = "full-replace",
 ) -> ManagedRunResult:
     """One complete managed run over ``(tenant_name, dag, priority, window)`` specs."""
     reset_event_ids()
@@ -245,6 +246,7 @@ def _run_managed(
             instance_capacity_ev_s=instance_capacity_ev_s,
             elastic_parallelism=elastic_parallelism,
             profile_duration_s=duration_s,
+            placement=placement,
         )
     manager.deploy()
     manager.start()
@@ -313,6 +315,7 @@ def run_multi_experiment(
     provisioning_latency_s: float = 30.0,
     max_concurrent_migrations: int = 1,
     include_private_baseline: bool = True,
+    placement: str = "full-replace",
 ) -> MultiExperimentResult:
     """Run N paper DAGs with offset surges on one shared, arbitrated fleet.
 
@@ -323,7 +326,10 @@ def run_multi_experiment(
     the default gives every tenant priority 1, leaving the proportional-share
     fallback in charge.  With ``include_private_baseline`` every tenant is
     re-run alone on a private fleet for the latency/cost/utilization
-    comparison the CLI prints.
+    comparison the CLI prints.  ``placement="incremental"`` gives every
+    tenant the rescale-aware placer (grows add only the delta;
+    consolidations re-use partially-free shared VMs instead of provisioning
+    a fresh fleet).
     """
     if len(dags) < 1:
         raise ValueError("need at least one dataflow")
@@ -359,6 +365,7 @@ def run_multi_experiment(
         specs, strategy, duration_s, surge_multiplier, budget_slots, seed,
         controller_config, instance_capacity_ev_s, elastic_parallelism,
         provisioning_latency_s, max_concurrent_migrations,
+        placement=placement,
     )
 
     private: Dict[str, ManagedRunResult] = {}
@@ -376,6 +383,7 @@ def run_multi_experiment(
                 elastic_parallelism=elastic_parallelism,
                 provisioning_latency_s=provisioning_latency_s,
                 max_concurrent_migrations=max_concurrent_migrations,
+                placement=placement,
             )
 
     return MultiExperimentResult(

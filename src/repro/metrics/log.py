@@ -131,10 +131,22 @@ class EventLog:
             self._root_first_emit[root_id] = now
 
     def record_sink_receipt(
-        self, root_id: int, event_id: int, sink: str, root_emitted_at: float, replay_count: int
+        self,
+        root_id: int,
+        event_id: int,
+        sink: str,
+        root_emitted_at: float,
+        replay_count: int,
+        at_time: Optional[float] = None,
     ) -> None:
-        """Record that a sink received an event now."""
-        now = self.sim.now
+        """Record that a sink received an event (now, or at an explicit time).
+
+        ``at_time`` lets a sink's batched service loop stamp each receipt
+        with its exact completion time even though the batch's bookkeeping
+        runs in one later callback.  Callers must keep stamped times
+        non-decreasing (the ``receipt_times`` index is binary-searched).
+        """
+        now = self.sim.now if at_time is None else at_time
         self.sink_receipts.append(
             SinkReceipt(time=now, root_id=root_id, event_id=event_id, sink=sink,
                         root_emitted_at=root_emitted_at, replay_count=replay_count)

@@ -39,6 +39,7 @@ from repro.dataflow.graph import Dataflow
 from repro.elastic.controller import ControllerConfig
 from repro.elastic.monitor import ElasticityMonitor
 from repro.elastic.planner import AllocationPlanner
+from repro.elastic.policy import IncrementalPlacement
 from repro.engine.config import RuntimeConfig
 from repro.engine.runtime import TopologyRuntime
 from repro.multi.arbiter import ScaleArbiter, is_worker_vm
@@ -67,6 +68,10 @@ class Tenant:
     instance_capacity_ev_s: float = 8.0
     task_capacities_ev_s: Optional[Dict[str, float]] = None
     elastic_parallelism: bool = False
+    #: ``full-replace`` (fresh fleet per scaling action, the default) or
+    #: ``incremental`` (keep unchanged instances; a consolidation re-uses
+    #: partially-free shared VMs instead of provisioning a private fleet).
+    placement: str = "full-replace"
 
     @property
     def deployed(self) -> bool:
@@ -146,6 +151,7 @@ class ClusterManager:
         task_capacities_ev_s: Optional[Dict[str, float]] = None,
         elastic_parallelism: bool = False,
         profile_duration_s: float = 900.0,
+        placement: str = "full-replace",
     ) -> Tenant:
         """Register a dataflow as a tenant (before :meth:`deploy`).
 
@@ -153,7 +159,13 @@ class ClusterManager:
         instantiated per source at that source's own base rate; a
         :class:`RateProfile` instance is only accepted for single-source
         dataflows.  ``None`` keeps the sources' declared constant rates.
+        ``placement="incremental"`` gives the tenant the rescale-aware
+        placer: grows keep the current fleet and provision only the delta,
+        and consolidations re-use partially-free shared VMs (zero new
+        provisioning) whenever the shared fleet can absorb the survivors.
         """
+        if placement not in ("full-replace", "incremental"):
+            raise ValueError(f"unknown placement policy {placement!r}")
         if self._deployed:
             raise RuntimeError("tenants must be added before deploy()")
         if name in self.tenants:
@@ -193,6 +205,7 @@ class ClusterManager:
             instance_capacity_ev_s=instance_capacity_ev_s,
             task_capacities_ev_s=dict(task_capacities_ev_s or {}) or None,
             elastic_parallelism=elastic_parallelism,
+            placement=placement,
         )
         self.tenants[name] = tenant
         return tenant
@@ -281,6 +294,16 @@ class ClusterManager:
                 task_capacities_ev_s=tenant.task_capacities_ev_s,
                 elastic_parallelism=tenant.elastic_parallelism,
             )
+            placement_policy = None
+            if tenant.placement == "incremental":
+                # Shared-fleet incremental placer: consolidations re-use
+                # partially-free shared VMs, and the dynamic exclusion set
+                # (every util VM, every retiring VM) is honoured exactly as
+                # the tenant's scheduler honours it.
+                placement_policy = IncrementalPlacement(
+                    reuse_free_slots=True,
+                    excluded_vms_fn=self._excluded_vms_for(name),
+                )
             tenant.controller = TenantController(
                 name,
                 self.arbiter,
@@ -291,6 +314,7 @@ class ClusterManager:
                 strategy_cls,
                 config=tenant.controller_config,
                 initial_tier="baseline",
+                placement=placement_policy,
             )
             self.arbiter.register_tenant(
                 name,

@@ -28,8 +28,10 @@ from repro.cluster.cloud import CloudProvider
 from repro.cluster.vm import VM_TYPES
 from repro.core.strategy import MigrationStrategy
 from repro.elastic.controller import ControllerConfig, ElasticityController, ScalingAction
+from repro.elastic.forecast import ForecastPolicy
 from repro.elastic.monitor import ElasticityMonitor
 from repro.elastic.planner import AllocationPlanner, TargetAllocation
+from repro.elastic.policy import PlacementPolicy
 from repro.engine.runtime import TopologyRuntime
 from repro.multi.arbiter import ScaleArbiter
 
@@ -45,7 +47,7 @@ class Deferral:
 
 
 def slots_of(target: TargetAllocation) -> int:
-    """New VM slots a target allocation would provision."""
+    """VM slots a target allocation's full fleet would provision."""
     return sum(VM_TYPES[name].slots * count for name, count in target.vm_counts.items())
 
 
@@ -63,10 +65,13 @@ class TenantController(ElasticityController):
         strategy_cls: Type[MigrationStrategy],
         config: Optional[ControllerConfig] = None,
         initial_tier: str = "baseline",
+        placement: Optional[PlacementPolicy] = None,
+        forecast_policy: Optional[ForecastPolicy] = None,
     ) -> None:
         super().__init__(
             runtime, provider, monitor, planner, strategy_cls,
             config=config, initial_tier=initial_tier,
+            placement=placement, forecast_policy=forecast_policy,
         )
         self.tenant_id = tenant_id
         self.arbiter = arbiter
@@ -82,7 +87,10 @@ class TenantController(ElasticityController):
             self.arbiter.withdraw(self.tenant_id)
 
     def _acquire_capacity(self, action: ScalingAction) -> bool:
-        slots = slots_of(action.target)
+        # Propose exactly what will be provisioned: the full target fleet
+        # under full-replace placement, only the delta under incremental
+        # (a consolidation re-using free shared slots proposes zero).
+        slots = action.provision_slots
         decision = self.arbiter.propose(
             self.tenant_id, action.direction, slots, now=self.runtime.sim.now
         )

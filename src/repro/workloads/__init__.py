@@ -17,6 +17,7 @@ from repro.workloads.profiles import (
     PROFILE_PRESETS,
     BurstProfile,
     ConstantRateProfile,
+    DiurnalProfile,
     RampProfile,
     RateProfile,
     StepProfile,
@@ -26,6 +27,7 @@ from repro.workloads.profiles import (
 __all__ = [
     "BurstProfile",
     "ConstantRateProfile",
+    "DiurnalProfile",
     "PROFILE_PRESETS",
     "PayloadFactory",
     "RampProfile",

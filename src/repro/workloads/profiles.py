@@ -13,6 +13,7 @@ the paper).
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
@@ -111,6 +112,34 @@ class BurstProfile(RateProfile):
         return self.base_rate
 
 
+@dataclass
+class DiurnalProfile(RateProfile):
+    """A smooth day/night cycle: sinusoidal between base and peak rate.
+
+    Models the diurnal load pattern of user-facing services (quiet nights,
+    busy daytimes) that predictive, seasonality-aware scaling policies are
+    built for.  The rate starts at ``base_rate`` (phase 0 = midnight), peaks
+    at ``base_rate * peak_multiplier`` half a period later, and returns --
+    ``rate(t) = base * (1 + (peak_mult - 1) * (1 - cos(2*pi*t/period)) / 2)``.
+    """
+
+    base_rate: float = 8.0
+    peak_multiplier: float = 3.0
+    period_s: float = 86400.0
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.peak_multiplier < 1.0:
+            raise ValueError("peak_multiplier must be at least 1")
+
+    def rate_at(self, time_s: float) -> float:
+        swing = (self.peak_multiplier - 1.0) * 0.5
+        cycle = 1.0 - math.cos(2.0 * math.pi * (time_s + self.phase_s) / self.period_s)
+        return self.base_rate * (1.0 + swing * cycle)
+
+
 # --------------------------------------------------------------- named presets
 #: Factories for the named profiles the CLI and the elastic scenario runner
 #: accept.  Each takes ``(base_rate, duration_s)`` and returns a profile whose
@@ -133,6 +162,12 @@ PROFILE_PRESETS: Dict[str, Callable[[float, float], RateProfile]] = {
         base_rate=base, burst_multiplier=4.0,
         burst_period_s=max(duration / 4.0, 1.0),
         burst_duration_s=max(duration / 40.0, 0.5),
+    ),
+    # Two compressed day/night cycles per run: the seasonal pattern
+    # Holt-Winters-style forecasters learn from the first cycle and
+    # anticipate on the second.
+    "diurnal": lambda base, duration: DiurnalProfile(
+        base_rate=base, peak_multiplier=3.0, period_s=max(duration / 2.0, 1.0),
     ),
 }
 

@@ -393,3 +393,65 @@ class TestMultiExperiment:
         with pytest.raises(ValueError, match="priorities"):
             run_multi_experiment(dags=("traffic", "grid"), priorities=(1,),
                                  include_private_baseline=False, duration_s=60.0)
+
+
+class TestIncrementalReFleet:
+    """Smarter re-fleet on scale-in: a consolidating tenant re-uses
+    partially-free shared VMs instead of provisioning a fresh private fleet."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        def run(placement):
+            return run_multi_experiment(
+                dags=("traffic", "linear"),
+                strategy="ccr",
+                duration_s=500.0,
+                surge_multiplier=2.0,
+                elastic_parallelism=True,
+                include_private_baseline=False,
+                placement=placement,
+            )
+
+        return {p: run(p) for p in ("full-replace", "incremental")}
+
+    @staticmethod
+    def actions(result):
+        return [
+            action
+            for summary in result.shared.tenants.values()
+            for action in summary.actions
+        ]
+
+    def test_consolidation_reuses_shared_vms_without_provisioning(self, runs):
+        incremental = runs["incremental"]
+        ins = [a for a in self.actions(incremental) if a.direction == "in"]
+        assert ins, "at least one tenant must consolidate after its surge"
+        reused = [a for a in ins if not a.provisioned_vm_ids]
+        assert reused, "a consolidation must absorb into the existing shared fleet"
+        for action in reused:
+            assert action.provision_counts == {}
+            assert action.kept_vm_ids, "the re-used shared VMs must be recorded"
+            assert action.is_complete
+
+        # Under full replacement every consolidation provisions a fresh fleet.
+        full_ins = [a for a in self.actions(runs["full-replace"]) if a.direction == "in"]
+        assert full_ins and all(a.provisioned_vm_ids for a in full_ins)
+
+    def test_provisioning_footprint_shrinks(self, runs):
+        def slots_provisioned(result):
+            from repro.cluster.vm import VM_TYPES
+
+            return sum(
+                VM_TYPES[name].slots * count
+                for action in self.actions(result)
+                for name, count in action.provision_counts.items()
+            )
+
+        assert slots_provisioned(runs["incremental"]) < slots_provisioned(
+            runs["full-replace"]
+        )
+
+    def test_budget_invariants_hold_with_incremental_placement(self, runs):
+        shared = runs["incremental"].shared
+        assert shared.max_committed_slots <= shared.budget_slots
+        assert shared.max_concurrent_migrations() <= 1
