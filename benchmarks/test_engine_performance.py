@@ -192,6 +192,52 @@ def test_grid_steady_state_simulation_cost(benchmark, engine_bench_recorder):
     engine_bench_recorder("grid_steady_state", benchmark)
 
 
+def test_grid_steady_state_batched_cost(benchmark, engine_bench_recorder):
+    """The same 10 s Grid steady state under the batch-stepping cascade.
+
+    Identical workload to ``grid_steady_state`` with ``batch_stepping`` on
+    (which implies the keyed jitter model); the committed baseline entry is
+    the *seed classic* mean for this workload, so ``speedup_vs_seed`` in
+    ``BENCH_engine.json`` is the headline batched-kernel speedup.
+    """
+
+    def simulate():
+        sim = Simulator()
+        cluster = build_cluster(sim, worker_vms=11)
+        config = fast_config("dcr")
+        config.batch_stepping = True
+        runtime = TopologyRuntime(topologies.grid(), cluster, sim=sim, config=config)
+        runtime.deploy()
+        runtime.start()
+        sim.run(until=10.0)
+        return len(runtime.log.sink_receipts)
+
+    receipts = benchmark.pedantic(simulate, rounds=5, iterations=1, warmup_rounds=1)
+    assert receipts > 200
+    engine_bench_recorder("grid_steady_state_batched", benchmark)
+
+
+def test_shard_scaling_cost(benchmark, engine_bench_recorder):
+    """Wall-clock cost of a 4-shard partition-parallel Grid run (pool of 4).
+
+    Covers the whole sharded path: per-shard hermetic simulation in worker
+    processes, result pickling and the deterministic merge.  The committed
+    baseline was recorded alongside the feature (the seed had no sharded
+    mode), so the gate guards the sharding machinery itself.
+    """
+    from repro.experiments.sharded import run_sharded_experiment
+
+    def simulate():
+        result = run_sharded_experiment(
+            dag="grid", shards=4, workers=4, duration_s=10.0, seed=2018
+        )
+        return len(result.log.sink_receipts)
+
+    receipts = benchmark.pedantic(simulate, rounds=5, iterations=1, warmup_rounds=1)
+    assert receipts > 200
+    engine_bench_recorder("shard_scaling", benchmark)
+
+
 def _sink_drain_runtime(batch_max: int) -> TopologyRuntime:
     """A deployed minimal chain whose sink is about to drain a deep queue."""
     builder = TopologyBuilder("sinkdrain")

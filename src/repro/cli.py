@@ -8,6 +8,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro rescale --dag grid --strategy ccr --surge 2.0
     python -m repro predict --dag grid --profile surge --slo 30
     python -m repro multi --dags traffic,grid --strategy ccr
+    python -m repro shard --dag grid --shards 4 --workers 2
     python -m repro figure table1
     python -m repro figure fig5 --scaling out --jobs 4
     python -m repro figure drain
@@ -45,6 +46,7 @@ from repro.experiments import (
     run_multi_experiment,
     run_predictive_experiment,
     run_rescale_experiment,
+    run_sharded_experiment,
 )
 from repro.experiments.figures import (
     ExperimentMatrix,
@@ -354,6 +356,38 @@ def _cmd_multi(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        print("repro shard: error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    result = run_sharded_experiment(
+        dag=args.dag,
+        shards=args.shards,
+        workers=args.workers,
+        duration_s=args.duration,
+        seed=args.seed,
+        strategy=args.strategy,
+        batch_stepping=not args.classic,
+    )
+    print(f"Sharded run: {args.dag} / {args.strategy} / {args.shards} shards "
+          f"x {args.duration:.0f}s on {result.workers} worker(s)")
+    print()
+    rows = [
+        {
+            "shard": res.index,
+            "emits": int(res.summary.get("source_emits", 0)),
+            "receipts": int(res.summary.get("sink_receipts", 0)),
+            "roots_received": int(res.summary.get("distinct_roots_received", 0)),
+        }
+        for res in result.results
+    ]
+    print(format_table(rows, title="Per-shard summaries"))
+    print()
+    print(format_table([result.log.summary()], title="Merged log (worker-count invariant)"))
+    print(f"\nmerged log digest: {result.digest}")
+    return 0
+
+
 def _matrix(args: argparse.Namespace) -> ExperimentMatrix:
     return ExperimentMatrix(
         migrate_at_s=args.migrate_at,
@@ -512,6 +546,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the per-tenant private-fleet baseline runs")
     multi.add_argument("--seed", type=int, default=2018)
     multi.set_defaults(func=_cmd_multi)
+
+    shard = sub.add_parser(
+        "shard",
+        help="run a steady-state experiment partitioned across a process pool",
+    )
+    shard.add_argument("--dag", default="grid", choices=sorted(topologies.ALL_TOPOLOGIES))
+    shard.add_argument("--strategy", default="dcr", choices=("dsm", "dcr", "ccr"))
+    shard.add_argument("--shards", type=int, default=4,
+                       help="number of key partitions (one hermetic simulation each)")
+    shard.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: $REPRO_SIM_SHARDS, else one per "
+                            "shard capped at the CPU count; the merged log is identical "
+                            "for every value)")
+    shard.add_argument("--duration", type=float, default=60.0,
+                       help="simulated duration of each shard (seconds)")
+    shard.add_argument("--classic", action="store_true",
+                       help="disable the batch-stepping cascade inside each shard")
+    shard.add_argument("--seed", type=int, default=2018)
+    shard.set_defaults(func=_cmd_shard)
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's tables/figures")
     figure.add_argument("name", choices=("table1", "fig5", "fig6", "fig7", "fig8", "fig9",

@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
-from repro.sim import RandomSource, Simulator
+from repro.sim import KeyedStream, RandomSource, Simulator, keyed_seed
 from repro.cluster.vm import Slot, VirtualMachine, VMType
 
 
@@ -76,6 +76,16 @@ class NetworkModel:
         draw sequence: streams are seeded by name, not by creation order.
         """
         return self._rng.stream("network-jitter").uniform
+
+    def keyed_jitter_stream(self, sender: str, receiver: str) -> KeyedStream:
+        """Per-channel jitter stream for keyed-jitter mode.
+
+        Seeded from ``(master_seed, "network-jitter", sender->receiver)``, so
+        a channel's draw sequence depends only on its own delivery count —
+        never on how other channels interleave.  Stateless with respect to
+        this model: nothing is registered, the caller owns the counter.
+        """
+        return KeyedStream(keyed_seed(self._rng.master_seed, "network-jitter", f"{sender}->{receiver}"))
 
     def transfer_latency(self, src_vm: Optional[str], dst_vm: Optional[str]) -> float:
         """Latency for one event transfer between the given VMs.

@@ -48,6 +48,12 @@ def default_logic(selectivity: float) -> UserLogic:
         count = int(selectivity)
         return [payload] * count
 
+    # Marker read by the batch-stepping cascade: a task whose logic is the
+    # dummy 1:1 forwarder (and whose per-call state effect is the single
+    # counter increment above) can be swept with array arithmetic instead of
+    # one Python call per event.  Custom user logic has no marker and forces
+    # the per-event path.
+    _logic.default_selectivity = int(selectivity)
     return _logic
 
 

@@ -117,9 +117,10 @@ class ControllerConfig:
     #: (closing the heterogeneous-latency loop).  Off by default: the paper's
     #: 1-per-8-ev/s sizing rule stays authoritative unless asked otherwise.
     capacity_feedback: bool = False
-    #: Place stage: ``full-replace`` (the paper's re-fleet, the default) or
-    #: ``incremental`` (keep unchanged instances, place only the delta).
-    placement: str = "full-replace"
+    #: Place stage: ``incremental`` (keep unchanged instances in their slots,
+    #: place and migrate only the delta — the default) or ``full-replace``
+    #: (the paper's re-fleet: provision a whole new fleet and move everything).
+    placement: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.check_interval_s <= 0:

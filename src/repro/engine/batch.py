@@ -1,0 +1,903 @@
+"""Batch-stepping cascade: whole steady-state stretches in one kernel callback.
+
+The classic kernel executes one Python callback per simulated event; a single
+source tick costs two heap round-trips per hop (delivery, service completion)
+plus the deliver -> queue -> ``_maybe_process`` -> ``_complete_data`` call
+chain.  At steady state none of that machinery can change the outcome: every
+executor is initialized and idle, no control wave is in flight, and the only
+cancellable timer pending is the source's own emit tick.
+
+The :class:`BatchStepper` exploits this.  When the emit timer fires and the
+runtime is *quiescent* (checked exhaustively below), the whole stretch of
+simulated time up to the next cancellable timer (exclusive) or the ``run``
+bound (inclusive) is materialized inside one callback: a private heap of
+``(time, seq, kind, ...)`` entries replays exactly the entries the kernel
+would have processed -- source ticks, channel deliveries, service completions
+-- with the handlers inlined (Lindley-style per-executor service clocks on
+the real executor objects, keyed per-channel jitter draws, direct event-log
+appends with explicit timestamps).  Entries that land at or past the horizon
+are *spilled* back onto the real kernel heap in classic form
+(``runtime.deliver`` / ``Executor._complete_data``), and executor state is
+left exactly as the classic kernel would have it at the horizon, so
+processing continues seamlessly -- a monitor sampling at the horizon observes
+identical ``processed_count`` / ``busy_time_s`` / log contents.
+
+Correctness requires the keyed per-channel jitter streams
+(``RuntimeConfig.keyed_network_jitter``, implied by ``batch_stepping``):
+with the shared stream, collapsing the cross-channel interleaving would
+permute every jitter draw.  With keyed streams each channel consumes its own
+sequence, so the cascade draws the exact values the classic kernel draws in
+keyed mode.  Event ids are drawn in cascade pop order, which mirrors the
+classic pop order entry for entry; the equivalence tests in
+``tests/test_batch_equivalence.py`` pin both the logged streams and the
+executor counters.
+
+Batch stepping is automatically unavailable when data acking is enabled (the
+acker's XOR bookkeeping and the spout throttle make per-event timing
+observable) and the cascade declines whenever the runtime is not quiescent
+(control waves, backlogs, restarts, captures, multiple sources), falling back
+to the classic per-event path for that tick.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dataflow.event import (
+    Event,
+    EventKind,
+    next_event_id,
+    recycle_event,
+    reserve_event_ids,
+)
+from repro.dataflow.grouping import Grouping, field_key_of, stable_field_index
+from repro.dataflow.task import TaskKind
+from repro.engine.executor import Executor, ExecutorStatus, SinkExecutor, SourceExecutor
+from repro.metrics.log import SinkReceipt, SourceEmit
+from repro.sim.rng import keyed_value_block
+
+try:  # numpy powers the vectorized sweep; the cascade degrades without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
+_EMIT = 0
+_ARRIVE = 1
+_COMPLETE = 2
+
+_RUNNING = ExecutorStatus.RUNNING
+_DATA_KIND = EventKind.DATA
+
+# Unbound kernel-callback identities the vectorized tier knows how to ingest
+# when it adopts in-flight work (see _cascade_vectorized).
+_PROC_COMPLETE = Executor._complete_data
+_SINK_COMPLETE = SinkExecutor._complete_data
+
+
+class BatchStepper:
+    """Runs quiescent steady-state stretches inline (see module docstring)."""
+
+    def __init__(self, runtime: "TopologyRuntime") -> None:
+        self.runtime = runtime
+        #: Number of cascades executed (diagnostic).
+        self.cascades = 0
+        #: Simulated events materialized inline instead of via the kernel.
+        self.inline_events = 0
+        #: Cascades swept with the vectorized (numpy) tier (diagnostic).
+        self.vector_cascades = 0
+        self._vector_capable_cache: Optional[bool] = None
+
+    # ------------------------------------------------------- vectorized sweep
+    def _vector_capable(self) -> bool:
+        """Whether the dataflow admits the array sweep at all (cached).
+
+        The sweep replaces per-event ``task.logic`` calls with bulk counter
+        updates, which is only sound for the default 1:1 dummy logic (tagged
+        by :func:`repro.dataflow.task.default_logic`).  Duplicate task-pair
+        edges would interleave their per-channel jitter draws per event,
+        which the per-edge arrays cannot reproduce, so they also force the
+        per-event tier.  Topology structure and task logic are fixed for the
+        runtime's lifetime (rescales change parallelism only), hence cached.
+        """
+        cached = self._vector_capable_cache
+        if cached is None:
+            runtime = self.runtime
+            cached = _np is not None and runtime.config.batch_vectorize
+            if cached:
+                dataflow = runtime.dataflow
+                for task in dataflow.tasks:
+                    if (
+                        task.kind is TaskKind.PROCESS
+                        and getattr(task.logic, "default_selectivity", None) != 1
+                    ):
+                        cached = False
+                        break
+                    dsts = [edge.dst for edge in dataflow.out_edges(task.name)]
+                    if len(dsts) != len(set(dsts)):
+                        cached = False
+                        break
+            self._vector_capable_cache = cached
+        return cached
+
+    # ------------------------------------------------------------- quiescence
+    def _quiescent(self, source: SourceExecutor, allow_inflight: bool = False) -> bool:
+        """Whether the cascade may replace per-event processing right now.
+
+        Every condition corresponds to a piece of engine machinery whose
+        behaviour the inline handlers do not replicate: if any is live, the
+        tick falls back to the classic path (and may cascade again later).
+
+        ``allow_inflight`` relaxes the strict-idle conditions (no pending
+        fast-path kernel entries, all executors idle with empty queues) for
+        the vectorized tier, which can *adopt* in-flight data work -- pending
+        deliveries, in-service completions, queued arrivals -- into its sweep.
+        That is what lets cascades re-engage mid-stream: at steady state the
+        pipeline is never empty between two source ticks, so the strict check
+        only ever passes on the very first tick of a run.  The per-event heap
+        tier has no ingestion path and always requires the strict form.
+        """
+        runtime = self.runtime
+        sim = runtime.sim
+        if sim.run_until is None:
+            return False  # unbounded run: no horizon to materialize up to
+        sources = runtime.source_executors
+        if len(sources) != 1 or sources[0] is not source:
+            return False
+        if source.paused or source.status is not _RUNNING:
+            return False
+        if source._backlog or source._replay_queue:
+            return False
+        if runtime._deferred_deliveries:
+            return False
+        if not allow_inflight and sim.has_fast_entries():
+            return False  # deliveries/completions already in flight
+        for executor in runtime.executors.values():
+            if executor.status is not _RUNNING or not executor.initialized:
+                return False
+            if executor.capture_mode or executor.pre_init_buffer:
+                return False
+            if not allow_inflight and (executor._busy or executor.input_queue):
+                return False
+        return True
+
+    # ---------------------------------------------------------------- cascade
+    def try_cascade(self, source: SourceExecutor) -> bool:
+        """Handle the source tick that just fired, if quiescence allows.
+
+        Returns True when the cascade consumed the tick (emissions performed,
+        downstream work either completed inline or spilled, and the next emit
+        timer armed); False to fall back to the classic per-tick path.
+        """
+        vectorized = self._vector_capable()
+        strict = self._quiescent(source)
+        if not strict and not (vectorized and self._quiescent(source, allow_inflight=True)):
+            return False
+        runtime = self.runtime
+        sim = runtime.sim
+        limit = sim.run_until
+        horizon = sim.next_timer_time()
+        now0 = sim.now
+        if horizon is not None and horizon <= now0:
+            return False  # another timer is due immediately; do not pass it
+        if now0 > limit:  # pragma: no cover - defensive; run() never does this
+            return False
+
+        if vectorized and self._cascade_vectorized(source, now0, limit, horizon):
+            return True
+        if not strict:
+            return False  # in-flight work present; only the vectorized tier ingests it
+
+        log = runtime.log
+        timing = runtime.timing
+        record_receipt = log.record_sink_receipt
+        record_emit = log.record_source_emit
+        schedule_at_fast = sim.schedule_at_fast
+        push = heapq.heappush
+        pop = heapq.heappop
+
+        heap: List[tuple] = [(now0, 0, _EMIT, None, None, None)]
+        seq = 1
+        inline = 0
+
+        while heap:
+            t, _, kind, a, b, c = pop(heap)
+            inline += 1
+            if kind == _ARRIVE:
+                executor = a
+                if executor._busy or executor.input_queue:
+                    executor.input_queue.append((b, c))
+                    continue
+                executor._busy = True
+                tc = t + executor._service_time
+                if tc <= limit and (horizon is None or tc < horizon):
+                    push(heap, (tc, seq, _COMPLETE, executor, b, None))
+                    seq += 1
+                else:
+                    # Completion crosses the horizon: hand it back to the
+                    # kernel in classic form (the executor stays busy, exactly
+                    # as if deliver() had scheduled this).
+                    schedule_at_fast(tc, executor._complete_data, (b,))
+            elif kind == _COMPLETE:
+                executor = a
+                event = b
+                if type(executor) is SinkExecutor:
+                    # Sink service: record the receipt (explicit timestamp --
+                    # cascade pops are globally time-ordered, so the indexed
+                    # log stays monotone) and recycle the dead event.
+                    executor.received_count += 1
+                    record_receipt(
+                        root_id=event.root_id,
+                        event_id=event.event_id,
+                        sink=executor.task.name,
+                        root_emitted_at=event.root_emitted_at,
+                        replay_count=event.replay_count,
+                        at_time=t,
+                    )
+                    executor.processed_count += 1
+                    recycle_event(event)
+                else:
+                    task = executor.task
+                    outputs = task.logic(event.payload, executor.state)
+                    if outputs:
+                        if len(outputs) == 1:
+                            # 1:1 selectivity: mutate the event into its own
+                            # child (same id-draw position as the classic
+                            # path, see Executor._complete_data).
+                            payload = outputs[0]
+                            event.event_id = next_event_id()
+                            event.source_task = task.name
+                            if payload is not None:
+                                event.payload = payload
+                            event.created_at = t
+                            children = (event,)
+                        else:
+                            children = [
+                                event.derive(task.name, payload, t) for payload in outputs
+                            ]
+                        seq = self._route_inline(
+                            executor.executor_id, task.name, children, t,
+                            heap, seq, limit, horizon,
+                        )
+                    executor.processed_count += 1
+                    executor.busy_time_s += executor._service_time
+                # Drain the input queue exactly as _maybe_process would.
+                queue = executor.input_queue
+                if queue:
+                    next_event, _sender = queue.popleft()
+                    tc = t + executor._service_time
+                    if tc <= limit and (horizon is None or tc < horizon):
+                        push(heap, (tc, seq, _COMPLETE, executor, next_event, None))
+                        seq += 1
+                    else:
+                        schedule_at_fast(tc, executor._complete_data, (next_event,))
+                else:
+                    executor._busy = False
+            else:  # _EMIT: one source generation tick (mirrors _emit_tick)
+                source._sequence += 1
+                payload = source._payload(source._sequence)
+                event = Event.data(
+                    source_task=source.task.name,
+                    payload=payload,
+                    created_at=t,
+                    anchored=False,
+                )
+                source.emitted_count += 1
+                record_emit(event.root_id, source.task.name, replay_count=0,
+                            from_backlog=False, at_time=t)
+                seq = self._route_inline(
+                    source.executor_id, source.task.name, (event,), t,
+                    heap, seq, limit, horizon,
+                )
+                # Re-arm: same rate evaluation _arm_emit_timer performs at t.
+                profile = source.profile
+                rate = float(profile.rate_at(t)) if profile is not None else source.rate
+                if rate <= 0:
+                    source._emit_timer = sim.schedule_at(
+                        t + timing.source_idle_recheck_s, source._arm_emit_timer
+                    )
+                else:
+                    source.rate = rate
+                    tn = t + 1.0 / rate
+                    if tn <= limit and (horizon is None or tn < horizon):
+                        push(heap, (tn, seq, _EMIT, None, None, None))
+                        seq += 1
+                    else:
+                        source._emit_timer = sim.schedule_at(tn, source._emit_tick)
+
+        self.cascades += 1
+        self.inline_events += inline
+        return True
+
+    # ------------------------------------------------------- vectorized tier
+    def _cascade_vectorized(
+        self, source: SourceExecutor, now0: float, limit: float, horizon: Optional[float]
+    ) -> bool:
+        """Sweep the whole stretch with per-task-instance arrays (numpy).
+
+        Instead of replaying individual kernel entries, each task instance is
+        processed once with struct-of-arrays arithmetic: per-channel jitter
+        draws come from :func:`keyed_value_block` (bit-identical to the scalar
+        stream), FIFO bumps and Lindley service recurrences take their exact
+        vectorized form when the stretch has no bump/queueing (the common
+        case, pre-checked) and an exact scalar scan otherwise.  All simulated
+        times, log record streams and executor counters are bit-identical to
+        the classic keyed kernel; only the *event-id assignment order*
+        differs (ids are drawn in sweep order: roots first, then spilled
+        events, then receipts).  Work crossing the horizon is reconstructed
+        into classic kernel state exactly as the per-event tier does.
+
+        Unlike the per-event tier, this tier also runs under *relaxed*
+        quiescence: pending kernel deliveries, in-service completions and
+        queued arrivals are adopted into the sweep (their times are already
+        fixed, so the merge stays exact), which is what lets cascades
+        re-engage between control-plane windows when the pipeline is never
+        fully drained.
+
+        Returns False (nothing mutated) when an executor subclass it does not
+        model is present, or when in-flight work includes anything beyond
+        plain unanchored data events (control waves, sink batches,
+        state-store latencies); :meth:`try_cascade` then falls back to the
+        per-event tier or the classic path.
+        """
+        np = _np
+        runtime = self.runtime
+        executors = runtime.executors
+        for executor in executors.values():
+            kind = type(executor)
+            if kind is not Executor and kind is not SinkExecutor and kind is not SourceExecutor:
+                return False
+        sim = runtime.sim
+        router = runtime.router
+
+        # ---- In-flight scan (pure, nothing mutated until it fully succeeds).
+        # Under relaxed quiescence the kernel heap may hold pending data work;
+        # classify every fast-path entry, declining on anything the sweep does
+        # not model (control handling, capture drains, sink batch completions,
+        # state-store latencies, acked/replayed events).
+        inflight: List[Tuple[float, str, Event, str]] = []
+        busy_completions: Dict[Any, Tuple[float, Event]] = {}
+        pending_entries = sim.fast_entries()
+        if pending_entries:
+            deliver_cb = runtime.deliver
+            batch_cb = router._deliver_batch
+            for entry in pending_entries:
+                cb = entry[2]
+                func = getattr(cb, "__func__", None)
+                if func is _PROC_COMPLETE or func is _SINK_COMPLETE:
+                    executor = cb.__self__
+                    event = entry[3][0]
+                    if (
+                        event.kind is not _DATA_KIND
+                        or event.anchored
+                        or event.replay_count
+                        or not executor._busy
+                        or executor in busy_completions
+                    ):
+                        return False
+                    busy_completions[executor] = (entry[0], event)
+                elif cb == deliver_cb:
+                    target, event, sender_id = entry[3]
+                    if (
+                        event.kind is not _DATA_KIND
+                        or event.anchored
+                        or event.replay_count
+                        or target not in executors
+                        or type(executors[target]) is SourceExecutor
+                    ):
+                        return False
+                    inflight.append((entry[0], target, event, sender_id))
+                elif cb == batch_cb:
+                    target, sender_id, pairs, index = entry[3]
+                    if target not in executors or type(executors[target]) is SourceExecutor:
+                        return False
+                    for when, event in pairs[index:]:
+                        if event.kind is not _DATA_KIND or event.anchored or event.replay_count:
+                            return False
+                        inflight.append((when, target, event, sender_id))
+                else:
+                    return False
+            for executor in executors.values():
+                if executor in busy_completions:
+                    for event, _sender in executor.input_queue:
+                        if event.kind is not _DATA_KIND or event.anchored or event.replay_count:
+                            return False
+                elif executor._busy or executor.input_queue:
+                    return False  # busy/queued without a modelled completion
+
+        dataflow = runtime.dataflow
+        hor = float("inf") if horizon is None else horizon
+        if hor <= limit:
+            cut_value, cut_side = hor, "left"  # inline iff time < horizon
+        else:
+            cut_value, cut_side = limit, "right"  # inline iff time <= limit
+        side_right = cut_side == "right"
+
+        # ---- Phase A: the emission schedule (exact scalar recurrence).
+        profile = source.profile
+        rate_at = profile.rate_at if profile is not None else None
+        tick_times: List[float] = []
+        tick = now0
+        idle_from: Optional[float] = None
+        next_tick: Optional[float] = None
+        while True:
+            tick_times.append(tick)
+            rate = float(rate_at(tick)) if rate_at is not None else source.rate
+            if rate <= 0:
+                idle_from = tick
+                break
+            source.rate = rate
+            after = tick + 1.0 / rate
+            if after <= limit and after < hor:
+                tick = after
+            else:
+                next_tick = after
+                break
+
+        n_roots = len(tick_times)
+        log = runtime.log
+        source_name = source.task.name
+        seqno = source._sequence
+        payloads: List[Any] = [
+            source._payload(s) for s in range(seqno + 1, seqno + n_roots + 1)
+        ]
+        source._sequence = seqno + n_roots
+        rid0 = reserve_event_ids(n_roots)
+        root_ids: List[int] = list(range(rid0, rid0 + n_roots))
+        # Bulk-inlined record_source_emit(replay_count=0, at_time=tick):
+        # fresh root ids are never already in the first-emit map.
+        log.source_emits.extend(
+            SourceEmit(tick, rid, source_name, 0, False)
+            for tick, rid in zip(tick_times, root_ids)
+        )
+        log.emit_times.extend(tick_times)
+        log._root_first_emit.update(zip(root_ids, tick_times))
+        source.emitted_count += n_roots
+        inline_count = n_roots
+        #: Per-root original emission time.  For the roots emitted by this
+        #: cascade it equals the tick time; adopted in-flight events append
+        #: their own ``root_emitted_at`` (they descend from earlier roots).
+        root_emitted: List[float] = list(tick_times)
+
+        def adopt(event: Event) -> int:
+            """Register an in-flight event as an extra sweep root index."""
+            idx = len(payloads)
+            payloads.append(event.payload)
+            root_ids.append(event.root_id)
+            root_emitted.append(event.root_emitted_at)
+            return idx
+
+        # ---- Phase B: route/serve every task instance in topological order.
+        plans = router._route_plans
+        channel_base = router._channel_base
+        keyed_jitter = router._keyed_jitter
+        last_delivery = router._last_delivery
+        shuffle_counters = router._shuffle_counters
+        network = router._network
+        jitter_on = router._jitter_fraction > 0
+        jlow = router._jitter_low
+        jspan = router._jitter_span
+        executor_vm = runtime.executor_vm
+        schedule_at_fast = sim.schedule_at_fast
+        deliver = runtime.deliver
+
+        #: target executor id -> per-channel (deliveries, root idx, parent
+        #: completion times, sender id) arrays, appended in topological order.
+        arrivals: Dict[str, List[Tuple[Any, Any, Any, str]]] = {}
+        field_cache: Dict[int, Any] = {}
+
+        def field_indices(num: int):
+            cached = field_cache.get(num)
+            if cached is None:
+                cached = np.fromiter(
+                    (stable_field_index(field_key_of(p), num) for p in payloads),
+                    dtype=np.intp,
+                    count=len(payloads),
+                )
+                field_cache[num] = cached
+            return cached
+
+        def ship(sender_id: str, task_name: str, target: str, parent_c, roots) -> None:
+            """One channel's deliveries: jitter, FIFO bump, bound split."""
+            nonlocal inline_count
+            n = len(parent_c)
+            channel = (sender_id, target)
+            base = channel_base.get(channel)
+            if base is None:
+                base = channel_base[channel] = network.base_latency(
+                    executor_vm(sender_id), executor_vm(target)
+                )
+            if jitter_on:
+                stream = keyed_jitter.get(channel)
+                if stream is None:
+                    stream = keyed_jitter[channel] = network.keyed_jitter_stream(
+                        sender_id, target
+                    )
+                start = stream.counter
+                stream.counter = start + n
+                draws = keyed_value_block(stream.seed, start, n, np)
+                lat = base * (1.0 + (jlow + jspan * draws))
+                np.maximum(lat, 0.0, out=lat)
+                raw = parent_c + lat
+            else:
+                raw = parent_c + base
+            last = last_delivery.get(channel, 0.0)
+            if raw[0] >= last + 1e-9 and (
+                n == 1 or bool((raw[1:] >= raw[:-1] + 1e-9).all())
+            ):
+                deliveries = raw  # no FIFO bump anywhere (the usual case)
+            else:
+                deliveries = raw.copy()
+                prev = last
+                for i in range(n):
+                    earliest = prev + 1e-9
+                    if earliest > deliveries[i]:
+                        deliveries[i] = earliest
+                    prev = deliveries[i]
+            tail = float(deliveries[-1])
+            last_delivery[channel] = tail
+            router.routed_count += n
+            if (tail <= cut_value) if side_right else (tail < cut_value):
+                cut = n  # whole channel in bound: skip the searchsorted
+            else:
+                cut = int(np.searchsorted(deliveries, cut_value, side=cut_side))
+            if cut:
+                arrivals.setdefault(target, []).append(
+                    (deliveries[:cut], roots[:cut], parent_c[:cut], sender_id)
+                )
+                inline_count += cut
+            for i in range(cut, n):  # beyond the bound: classic deliveries
+                r = int(roots[i])
+                event = Event(
+                    next_event_id(), root_ids[r], _DATA_KIND, task_name,
+                    payloads[r], float(parent_c[i]), root_emitted[r], None, None, 0, False,
+                )
+                schedule_at_fast(float(deliveries[i]), deliver, (target, event, sender_id))
+
+        def route_stream(sender_id: str, task_name: str, completions, roots) -> None:
+            """Mirror Router.route target selection on whole arrays."""
+            plan = plans.get(task_name)
+            if plan is None:
+                plan = router._build_plan(task_name)
+            n = len(completions)
+            for edge, instances, grouping, num in plan:
+                if num == 1 or grouping is Grouping.GLOBAL:
+                    ship(sender_id, task_name, instances[0], completions, roots)
+                elif grouping is Grouping.ALL:
+                    for target in instances:
+                        ship(sender_id, task_name, target, completions, roots)
+                elif grouping is Grouping.FIELDS:
+                    tidx = field_indices(num)[roots]
+                    for k in range(num):
+                        mask = tidx == k
+                        if mask.any():
+                            ship(sender_id, task_name, instances[k],
+                                 completions[mask], roots[mask])
+                else:  # shuffle round-robin per (sender executor, dst task)
+                    counter_key = (sender_id, edge.dst)
+                    start = shuffle_counters.get(counter_key, 0)
+                    shuffle_counters[counter_key] = start + n
+                    # Event i goes to instance (start + i) % num, so instance
+                    # k's events are the strided slice starting at
+                    # (k - start) % num -- views, no masks, no copies.
+                    for k in range(num):
+                        i0 = (k - start) % num
+                        if i0 < n:
+                            ship(sender_id, task_name, instances[k],
+                                 completions[i0::num], roots[i0::num])
+
+        # ---- Commit the ingestion: the sweep now owns all in-flight work.
+        # Pending deliveries inside the bound become one-element arrival
+        # channels (their jitter was drawn -- and the channel FIFO state
+        # advanced -- when they were routed); the rest go straight back on the
+        # kernel heap unchanged.  Each busy executor is seeded with its fixed
+        # in-service completion time plus its queued arrivals, in order.
+        #: executor id -> (in-service completion time, [(event, sender) ...],
+        #: adopted root indices), list position 0 being the in-service event.
+        seeded: Dict[str, Tuple[float, List[Tuple[Event, str]], List[int]]] = {}
+        if pending_entries:
+            sim.remove_fast_entries()
+            for when, target, event, sender_id in inflight:
+                if when <= limit and when < hor:
+                    idx = adopt(event)
+                    arrivals.setdefault(target, []).append(
+                        (
+                            np.array([when]),
+                            np.array([idx], dtype=np.intp),
+                            np.array([event.created_at]),
+                            sender_id,
+                        )
+                    )
+                    inline_count += 1
+                    recycle_event(event)
+                else:
+                    schedule_at_fast(when, deliver, (target, event, sender_id))
+            for executor, (when, event) in busy_completions.items():
+                entries: List[Tuple[Event, str]] = [(event, "")]
+                entries.extend(executor.input_queue)
+                executor.input_queue.clear()
+                executor._busy = False  # re-established by the spill if needed
+                seeded[executor.executor_id] = (
+                    when, entries, [adopt(ev) for ev, _ in entries]
+                )
+
+        route_stream(
+            source.executor_id, source_name,
+            np.array(tick_times), np.arange(n_roots),
+        )
+
+        sink_recs: List[Tuple[Any, Any, SinkExecutor]] = []
+        for name in dataflow.topological_order:
+            task = dataflow.task(name)
+            if task.kind is TaskKind.SOURCE:
+                continue
+            for eid in task.instance_ids():
+                chans = arrivals.get(eid)
+                seed = seeded.get(eid)
+                if not chans and seed is None:
+                    continue
+                executor = executors[eid]
+                service = executor._service_time
+                if chans:
+                    if len(chans) == 1:
+                        arr, roots, parents, sole_sender = chans[0]
+                        senders = None
+                    else:
+                        arr = np.concatenate([c[0] for c in chans])
+                        roots = np.concatenate([c[1] for c in chans])
+                        parents = np.concatenate([c[2] for c in chans])
+                        senders = np.concatenate(
+                            [np.full(len(c[0]), i, dtype=np.intp) for i, c in enumerate(chans)]
+                        )
+                        order = np.argsort(arr, kind="stable")
+                        arr = arr[order]
+                        roots = roots[order]
+                        parents = parents[order]
+                        senders = senders[order]
+                        sole_sender = None
+                    n = len(arr)
+                else:
+                    arr = roots = parents = senders = sole_sender = None
+                    n = 0
+                if seed is not None:
+                    # Seeded prefix: the in-service completion is pinned at
+                    # its already-scheduled time, the queued arrivals drain
+                    # back to back after it (``tc = t + service`` chains, the
+                    # exact classic recurrence).  Every seeded completion
+                    # precedes every new-arrival completion in time, so the
+                    # concatenation below stays sorted.
+                    t_fixed, sevents, sidx = seed
+                    m = len(sevents)
+                    sc = np.empty(m)
+                    prev = t_fixed
+                    sc[0] = prev
+                    for j in range(1, m):
+                        prev = prev + service
+                        sc[j] = prev
+                    prev_init = prev
+                else:
+                    sevents = sidx = None
+                    m = 0
+                    prev_init = None
+                if n:
+                    if service == 0.0:
+                        if prev_init is not None and arr[0] < prev_init:
+                            # Arrivals landing while the seeded work drains
+                            # complete the instant it finishes (exact: a
+                            # selection, no arithmetic).
+                            ncomp = np.maximum(arr, prev_init)
+                        else:
+                            ncomp = arr  # `tc = t + 0.0` is exact
+                    elif (prev_init is None or arr[0] >= prev_init) and (
+                        n == 1 or bool((arr[1:] >= arr[:-1] + service).all())
+                    ):
+                        ncomp = arr + service  # no queueing anywhere
+                    else:
+                        ncomp = np.empty(n)
+                        prev = float("-inf") if prev_init is None else prev_init
+                        for i in range(n):  # exact Lindley scan
+                            value = arr[i]
+                            prev = (value if value > prev else prev) + service
+                            ncomp[i] = prev
+                else:
+                    ncomp = None
+                if m and n:
+                    completions = np.concatenate([sc, ncomp])
+                    all_roots = np.concatenate([np.asarray(sidx, dtype=np.intp), roots])
+                elif m:
+                    completions = sc
+                    all_roots = np.asarray(sidx, dtype=np.intp)
+                else:
+                    completions = ncomp
+                    all_roots = roots
+                total = m + n
+                if service == 0.0 and m == 0:
+                    k = total  # inline arrivals complete at their own (in-bound) times
+                else:
+                    # Seeded completion times were inherited from the kernel
+                    # heap and may already sit past the bound, so the cut
+                    # applies even when the service time is zero.
+                    tail = float(completions[total - 1])
+                    if (tail <= cut_value) if side_right else (tail < cut_value):
+                        k = total
+                    else:
+                        k = int(np.searchsorted(completions, cut_value, side=cut_side))
+                inline_count += k
+                if type(executor) is SinkExecutor:
+                    if k:
+                        sink_recs.append((completions[:k], all_roots[:k], executor))
+                        executor.received_count += k
+                        executor.processed_count += k
+                else:
+                    if k:
+                        route_stream(eid, name, completions[:k], all_roots[:k])
+                        executor.processed_count += k
+                        state = executor.state
+                        state["processed"] = state.get("processed", 0) + k
+                        busy = executor.busy_time_s
+                        for _ in range(k):  # k sequential adds, like the kernel
+                            busy += service
+                        executor.busy_time_s = busy
+                for j in range(min(k, m)):
+                    # Completed adopted events leave the system here; feed the
+                    # clone pool as the classic sink path eventually would.
+                    recycle_event(sevents[j][0])
+                if k < total:
+                    # The k-th service crosses the bound: leave the executor
+                    # busy with its completion on the kernel heap and the
+                    # later arrivals queued, exactly as the classic kernel
+                    # would have them at this point.  Seeded positions still
+                    # hold their original Event objects; new arrivals are
+                    # materialized from the sweep arrays.
+                    def event_at(i: int) -> Tuple[Event, str]:
+                        if i < m:
+                            return sevents[i]
+                        j = i - m
+                        r = int(roots[j])
+                        sid = (
+                            sole_sender
+                            if senders is None
+                            else chans[int(senders[j])][3]
+                        )
+                        event = Event(
+                            next_event_id(), root_ids[r], _DATA_KIND,
+                            executors[sid].task.name, payloads[r],
+                            float(parents[j]), root_emitted[r], None, None, 0, False,
+                        )
+                        return event, sid
+
+                    executor._busy = True
+                    in_service, _in_sender = event_at(k)
+                    schedule_at_fast(
+                        float(completions[k]), executor._complete_data, (in_service,)
+                    )
+                    queue_append = executor.input_queue.append
+                    for i in range(k + 1, total):
+                        queue_append(event_at(i))
+
+        # ---- Phase C: receipts merged into the log in global time order.
+        if sink_recs:
+            log = runtime.log
+            receipts = log.sink_receipts
+            receipt_times = log.receipt_times
+            roots_seen = log._roots_received
+            # tolist() converts to native floats/ints in one C pass -- exact,
+            # and much cheaper than per-element indexing -- and the receipt
+            # ids come from one bulk reservation instead of a counter call
+            # per receipt.
+            if len(sink_recs) == 1:
+                times, roots, sink = sink_recs[0]
+                sink_name = sink.task.name
+                times_l = times.tolist()
+                roots_l = roots.tolist()
+                eid0 = reserve_event_ids(len(times_l))
+                receipts.extend(
+                    SinkReceipt(when, root_ids[r], eid, sink_name, root_emitted[r], 0)
+                    for eid, (when, r) in enumerate(zip(times_l, roots_l), eid0)
+                )
+                receipt_times.extend(times_l)
+                roots_seen.update(map(root_ids.__getitem__, roots_l))
+            else:
+                all_times = np.concatenate([rec[0] for rec in sink_recs])
+                all_roots = np.concatenate([rec[1] for rec in sink_recs])
+                which = np.concatenate(
+                    [np.full(len(rec[0]), i, dtype=np.intp) for i, rec in enumerate(sink_recs)]
+                )
+                names = [rec[2].task.name for rec in sink_recs]
+                order = np.argsort(all_times, kind="stable")
+                times_l = all_times[order].tolist()
+                roots_l = all_roots[order].tolist()
+                which_l = which[order].tolist()
+                eid0 = reserve_event_ids(len(times_l))
+                receipts.extend(
+                    SinkReceipt(when, root_ids[r], eid, names[w], root_emitted[r], 0)
+                    for eid, (when, r, w) in enumerate(
+                        zip(times_l, roots_l, which_l), eid0
+                    )
+                )
+                receipt_times.extend(times_l)
+                roots_seen.update(map(root_ids.__getitem__, roots_l))
+
+        # ---- Re-arm the source exactly as _arm_emit_timer would.
+        if idle_from is not None:
+            source._emit_timer = sim.schedule_at(
+                idle_from + runtime.timing.source_idle_recheck_s, source._arm_emit_timer
+            )
+        else:
+            source._emit_timer = sim.schedule_at(next_tick, source._emit_tick)
+
+        self.cascades += 1
+        self.vector_cascades += 1
+        self.inline_events += inline_count
+        return True
+
+    # ---------------------------------------------------------------- routing
+    def _route_inline(
+        self,
+        sender_id: str,
+        task_name: str,
+        events,
+        now: float,
+        heap: List[tuple],
+        seq: int,
+        limit: float,
+        horizon: Optional[float],
+    ) -> int:
+        """Route ``events`` at simulated time ``now`` without the kernel.
+
+        Mirrors Router.route()/_route_general for the non-acked case: same
+        grouping selection, same sole-delivery id re-stamp vs per-edge copy,
+        same keyed jitter draw and per-channel FIFO bump (via the router's
+        own ``_delivery_time``).  In-bound deliveries become cascade ARRIVE
+        entries; the rest spill to the kernel as classic deliveries.
+        """
+        runtime = self.runtime
+        router = runtime.router
+        plan = router._route_plans.get(task_name)
+        if plan is None:
+            plan = router._build_plan(task_name)
+        executors = runtime.executors
+        delivery_time = router._delivery_time
+        shuffle_counters = router._shuffle_counters
+        schedule_at_fast = runtime.sim.schedule_at_fast
+        deliver = runtime.deliver
+        push = heapq.heappush
+        single_edge = len(plan) == 1
+        for edge, instances, grouping, num in plan:
+            for event in events:
+                if num == 1:
+                    targets = instances
+                elif grouping is Grouping.ALL:
+                    targets = instances
+                elif grouping is Grouping.GLOBAL:
+                    targets = instances[:1]
+                elif grouping is Grouping.FIELDS:
+                    targets = (
+                        instances[stable_field_index(field_key_of(event.payload), num)],
+                    )
+                else:  # shuffle round-robin per (sender executor, dst task)
+                    counter_key = (sender_id, edge.dst)
+                    index = shuffle_counters.get(counter_key, 0)
+                    shuffle_counters[counter_key] = index + 1
+                    targets = (instances[index % num],)
+                if single_edge and len(targets) == 1:
+                    target = targets[0]
+                    event.event_id = next_event_id()
+                    d = delivery_time(sender_id, target, now)
+                    router.routed_count += 1
+                    if d <= limit and (horizon is None or d < horizon):
+                        push(heap, (d, seq, _ARRIVE, executors[target], event, sender_id))
+                        seq += 1
+                    else:
+                        schedule_at_fast(d, deliver, (target, event, sender_id))
+                    continue
+                for target in targets:
+                    copy = event.copy_for_edge()
+                    d = delivery_time(sender_id, target, now)
+                    router.routed_count += 1
+                    if d <= limit and (horizon is None or d < horizon):
+                        push(heap, (d, seq, _ARRIVE, executors[target], copy, sender_id))
+                        seq += 1
+                    else:
+                        schedule_at_fast(d, deliver, (target, copy, sender_id))
+        return seq

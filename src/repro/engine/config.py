@@ -115,6 +115,29 @@ class RuntimeConfig:
     #: acking is on (per-event ack timing is observable) or the dataflow has
     #: several sink executors (interleaved receipts must stay time-ordered).
     sink_batch_max: int = 32
+    #: Derive network-jitter draws from a keyed per-channel stream
+    #: ``(seed, "network-jitter", channel_key, sequence)`` instead of one
+    #: shared ``random.Random``.  With keyed streams the jitter seen on one
+    #: channel no longer depends on how deliveries on *other* channels are
+    #: interleaved, which is the prerequisite for batch stepping and sharding.
+    #: Off by default: the shared stream is what the committed ``results/``
+    #: figures were recorded with.
+    keyed_network_jitter: bool = False
+    #: Run steady-state stretches through the batch-stepping cascade (one
+    #: kernel callback materializes a whole source-tick cohort inline) instead
+    #: of per-event kernel callbacks.  Implies :attr:`keyed_network_jitter`.
+    #: Logged results are equivalent to the classic kernel modulo event-id
+    #: assignment order; automatically disabled when data acking is on.
+    batch_stepping: bool = False
+    #: Within a batch-stepping cascade, sweep whole steady-state stretches
+    #: with numpy array arithmetic (struct-of-arrays per task instance)
+    #: instead of the per-event inline heap.  Only engages when every
+    #: processing task runs the default 1:1 dummy logic; simulated times are
+    #: bit-identical to the classic kernel, event ids are assigned in sweep
+    #: order.  Ignored when numpy is unavailable.  Setting it to ``False``
+    #: forces the per-event cascade, whose logs match the classic keyed
+    #: kernel exactly (including event ids).
+    batch_vectorize: bool = True
 
     def copy(self) -> "RuntimeConfig":
         """Return an independent copy of this configuration."""
@@ -124,6 +147,9 @@ class RuntimeConfig:
             seed=self.seed,
             util_vm_role=self.util_vm_role,
             sink_batch_max=self.sink_batch_max,
+            keyed_network_jitter=self.keyed_network_jitter,
+            batch_stepping=self.batch_stepping,
+            batch_vectorize=self.batch_vectorize,
         )
 
     @classmethod

@@ -35,7 +35,7 @@ from collections import deque
 from enum import Enum
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
-from repro.dataflow.event import CheckpointAction, Event, EventKind, next_event_id
+from repro.dataflow.event import CheckpointAction, Event, EventKind, next_event_id, recycle_event
 from repro.dataflow.task import SinkTask, SourceTask, Task
 from repro.reliability.statestore import checkpoint_key
 
@@ -530,6 +530,11 @@ class SourceExecutor(Executor):
 
     def _emit_tick(self) -> None:
         self._emit_timer = None
+        stepper = getattr(self.runtime, "batch_stepper", None)
+        if stepper is not None and stepper.try_cascade(self):
+            # The cascade emitted this tick (and possibly many more) inline
+            # and re-armed the emit timer itself.
+            return
         self._tick()
         self._arm_emit_timer()
 
@@ -762,6 +767,7 @@ class SinkExecutor(Executor):
         for event, _sender in batch:
             time += service
             self._record_receipt(event, at_time=time)
+            recycle_event(event)
         self._busy = False
         self._maybe_process()
 
@@ -801,6 +807,10 @@ class SinkExecutor(Executor):
             return
         self._record_receipt(event)
         self.runtime.ack_processed(event)
+        # The event has left the system: feed the fan-out clone pool.
+        # (recycle_event refuses anchored events, which the acker may still
+        # reference in its failure bookkeeping.)
+        recycle_event(event)
         self._busy = False
         self._maybe_process()
 

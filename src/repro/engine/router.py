@@ -41,6 +41,7 @@ from repro.cluster.cloud import NetworkModel
 from repro.dataflow.event import Event, EventKind, next_event_id
 from repro.dataflow.graph import Dataflow, Edge
 from repro.dataflow.grouping import Grouping, field_key_of, stable_field_index
+from repro.sim.rng import KeyedStream
 
 #: Back-compat alias: the stable CRC-32 FIELDS hash lives in
 #: :mod:`repro.dataflow.grouping` so the state re-partitioner (reliability
@@ -70,6 +71,15 @@ class Router:
         self._jitter_random = network.jitter_sampler().__self__.random
         self._jitter_low = -self._jitter_fraction
         self._jitter_span = self._jitter_fraction - self._jitter_low
+        # Keyed per-channel jitter (opt-in): each (sender, receiver) channel
+        # draws from its own stateless hash stream, so the jitter observed on
+        # one channel is independent of how deliveries on other channels are
+        # interleaved.  Required by (and implied by) batch stepping; like the
+        # FIFO times, the per-channel counters are semantics, not cache, and
+        # survive invalidate_caches().
+        config = runtime.config
+        self._keyed = bool(config.keyed_network_jitter or config.batch_stepping)
+        self._keyed_jitter: Dict[Tuple[str, str], KeyedStream] = {}
 
     # ---------------------------------------------------------------- caches
     def invalidate_caches(self) -> None:
@@ -146,9 +156,18 @@ class Router:
                         runtime.executor_vm(sender_executor_id), runtime.executor_vm(target)
                     )
                 if self._jitter_fraction > 0:
+                    if self._keyed:
+                        stream = self._keyed_jitter.get(channel)
+                        if stream is None:
+                            stream = self._keyed_jitter[channel] = self._network.keyed_jitter_stream(
+                                channel[0], channel[1]
+                            )
+                        draw = stream.random()
+                    else:
+                        draw = self._jitter_random()
                     # Parenthesized to match uniform()'s `a + (b-a)*r` (see
                     # _delivery_time).
-                    latency = base * (1.0 + (self._jitter_low + self._jitter_span * self._jitter_random()))
+                    latency = base * (1.0 + (self._jitter_low + self._jitter_span * draw))
                     if latency < 0.0:
                         latency = 0.0
                 else:
@@ -303,10 +322,19 @@ class Router:
             )
             self._channel_base[channel] = base
         if self._jitter_fraction > 0:
+            if self._keyed:
+                stream = self._keyed_jitter.get(channel)
+                if stream is None:
+                    stream = self._keyed_jitter[channel] = self._network.keyed_jitter_stream(
+                        channel[0], channel[1]
+                    )
+                draw = stream.random()
+            else:
+                draw = self._jitter_random()
             # Parenthesized to match uniform()'s `a + (b-a)*r` before the 1.0
             # add — float addition is not associative and the figure runs
             # must reproduce the historical jitter values bit-for-bit.
-            latency = base * (1.0 + (self._jitter_low + self._jitter_span * self._jitter_random()))
+            latency = base * (1.0 + (self._jitter_low + self._jitter_span * draw))
             if latency < 0.0:
                 latency = 0.0
         else:

@@ -30,6 +30,7 @@ from repro.engine.executor import (
     SinkExecutor,
     SourceExecutor,
 )
+from repro.engine.batch import BatchStepper
 from repro.engine.router import Router
 from repro.metrics.log import EventLog
 from repro.reliability.acker import AckerService
@@ -118,6 +119,16 @@ class TopologyRuntime:
         self.checkpoints = CheckpointCoordinator(self.sim)
         self.checkpoints.bind(self._emit_checkpoint_wave, self.user_executor_id_set)
         self.router = Router(self)
+        #: Batch-stepping cascade (perf mode): materializes quiescent
+        #: steady-state stretches inline instead of per-event kernel
+        #: callbacks.  Only armed when configured and when data acking is
+        #: off (per-event ack timing is observable by the acker/throttle).
+        self.batch_stepper = None
+        if self.config.batch_stepping and not self.reliability.ack_all_events:
+            self.batch_stepper = BatchStepper(self)
+        # Cohort handler for Simulator.run_batched(): same-time deliveries
+        # are dispatched with one executor lookup per consecutive target.
+        self.sim.register_batch_handler(self.deliver, self._deliver_cohort)
 
         self.executors: Dict[str, Executor] = {}
         self._user_executors_cache: Optional[List[Executor]] = None
@@ -261,6 +272,16 @@ class TopologyRuntime:
         """Advance the simulation until the given simulated time."""
         self.sim.run(until=until)
 
+    def run_batched(self, until: float) -> None:
+        """Advance the simulation with cohort dispatch (see Simulator.run_batched).
+
+        Semantically equivalent to :meth:`run`; same-time delivery cohorts
+        are dispatched in one call each.  The deeper batch-stepping cascade
+        additionally activates under either run variant when
+        ``RuntimeConfig.batch_stepping`` is set.
+        """
+        self.sim.run_batched(until=until)
+
     def stop_sources(self) -> None:
         """Stop all source generators (end of experiment)."""
         for source in self.source_executors:
@@ -302,6 +323,12 @@ class TopologyRuntime:
         executor = self.executors.get(executor_id)
         if executor is not None and executor.deliver(event, sender_id):
             return
+        self._undeliverable(executor_id, executor, event, sender_id)
+
+    def _undeliverable(
+        self, executor_id: str, executor: Optional[Executor], event: Event, sender_id: str
+    ) -> None:
+        """Drop/defer bookkeeping for a delivery the executor refused."""
         if executor is None:
             self.log.record_drop(executor_id, event.kind.value, "unknown-executor", event.root_id)
             return
@@ -310,6 +337,24 @@ class TopologyRuntime:
             self.log.record_deferred(executor_id, event.root_id)
         else:
             self.log.record_drop(executor_id, event.kind.value, executor.status.value, event.root_id)
+
+    def _deliver_cohort(self, time: float, cohort: List[Tuple[str, Event, str]]) -> None:
+        """Deliver a same-time cohort popped by :meth:`Simulator.run_batched`.
+
+        Entries are handled strictly in their original (seq) order --
+        batching only amortizes the executor lookup across consecutive
+        deliveries to the same target.
+        """
+        executors = self.executors
+        last_id: Optional[str] = None
+        last_executor: Optional[Executor] = None
+        for executor_id, event, sender_id in cohort:
+            if executor_id != last_id:
+                last_id = executor_id
+                last_executor = executors.get(executor_id)
+            if last_executor is not None and last_executor.deliver(event, sender_id):
+                continue
+            self._undeliverable(executor_id, last_executor, event, sender_id)
 
     # --------------------------------------------------------- acker callbacks
     def _tree_completed(self, root_id: int) -> None:

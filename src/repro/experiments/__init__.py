@@ -26,6 +26,10 @@ compares each tenant against its private-fleet baseline.
 policies (reactive / EWMA / Holt-Winters / profile lookahead) on one
 dynamism scenario, scoring SLO-violation seconds, provisioning lead time and
 cost.
+
+:mod:`repro.experiments.sharded` partitions a keyed workload across a process
+pool (one hermetic simulation per key partition) and merges the per-shard
+logs into one bit-stable :class:`~repro.metrics.log.EventLog`.
 """
 
 from repro.experiments.scenarios import (
@@ -57,6 +61,12 @@ from repro.experiments.predictive import (
     PredictiveRunSummary,
     run_predictive_experiment,
 )
+from repro.experiments.sharded import (
+    ShardedRunResult,
+    plan_shards,
+    run_sharded_experiment,
+    run_steady_shard,
+)
 from repro.experiments.figures import ExperimentMatrix
 from repro.experiments.formatting import format_table
 
@@ -72,8 +82,10 @@ __all__ = [
     "RescaleComparisonResult",
     "RescaleRunSummary",
     "ScenarioSpec",
+    "ShardedRunResult",
     "TenantSummary",
     "build_experiment",
+    "plan_shards",
     "format_table",
     "plan_after_scaling",
     "run_elastic_experiment",
@@ -81,5 +93,7 @@ __all__ = [
     "run_multi_experiment",
     "run_predictive_experiment",
     "run_rescale_experiment",
+    "run_sharded_experiment",
+    "run_steady_shard",
     "vm_counts_for",
 ]

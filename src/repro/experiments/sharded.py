@@ -1,0 +1,179 @@
+"""Partition-parallel steady-state runs: the concrete shard worker + driver.
+
+The paper's workloads are keyed (vehicles, meters): events of different keys
+never interact in the dummy-logic dataflows, so the key space can be split
+into ``N`` partitions and each partition simulated in its own process against
+a private replica of the dataflow — the model-level analogue of running one
+tenant per partition.  Shard ``i`` of ``N`` simulates the global source
+sequences ``i, i+N, i+2N, ...``: its source emits at ``rate / N`` and its
+payload factory is remapped so local sequence ``s`` produces the payload of
+global sequence ``s*N + i`` (keys and values match what the unsharded source
+would have generated for exactly those events).
+
+Determinism contract: a shard's log is a pure function of its
+:class:`~repro.sim.shard.ShardSpec` — the worker resets the global event-id
+counter on entry and derives all randomness from the spec's shard seed — and
+the merge is a pure function of the shard logs.  Worker-pool size therefore
+cannot affect the merged :class:`~repro.metrics.log.EventLog`, which the
+shard-determinism tests assert byte-for-byte via
+:func:`~repro.sim.shard.log_digest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.cloud import CloudProvider, Cluster, NetworkModel
+from repro.cluster.vm import D2, D3
+from repro.core.strategy import strategy_by_name
+from repro.dataflow import topologies
+from repro.dataflow.event import reset_event_ids
+from repro.dataflow.task import SourceTask
+from repro.engine.runtime import TopologyRuntime
+from repro.experiments.scenarios import vm_counts_for
+from repro.metrics.log import EventLog
+from repro.sim import RandomSource, Simulator
+from repro.sim.shard import (
+    ShardResult,
+    ShardSpec,
+    log_digest,
+    merge_shard_results,
+    run_shards,
+    shard_worker_count,
+)
+
+
+def plan_shards(
+    dag: str = "grid",
+    shards: int = 4,
+    duration_s: float = 10.0,
+    seed: int = 2018,
+    strategy: str = "dcr",
+    batch_stepping: bool = True,
+) -> List[ShardSpec]:
+    """The shard specs of one partitioned run (one spec per key partition)."""
+    return [
+        ShardSpec(
+            index=index,
+            shards=shards,
+            dag=dag,
+            strategy=strategy,
+            duration_s=duration_s,
+            seed=seed,
+            batch_stepping=batch_stepping,
+        )
+        for index in range(shards)
+    ]
+
+
+def _partitioned_factory(base, index: int, shards: int):
+    """Remap a payload factory onto shard ``index``'s global subsequence."""
+    if base is None:
+        return None
+
+    def _factory(sequence: int):
+        return base(sequence * shards + index)
+
+    return _factory
+
+
+def run_steady_shard(spec: ShardSpec) -> ShardResult:
+    """Simulate one key partition's steady-state run, hermetically.
+
+    Module-level so ``multiprocessing`` pickles it by reference.  Builds the
+    same stack as a scenario warm-up (util VM for sources/sinks, Table-1 D2
+    fleet for the user tasks), but with the source scaled down to the
+    partition's share of the stream.
+    """
+    reset_event_ids()
+    strategy_cls = strategy_by_name(spec.strategy)
+    config = strategy_cls.runtime_config(seed=spec.shard_seed)
+    config.batch_stepping = spec.batch_stepping
+    # Keyed per-channel jitter is the prerequisite for sharding (a channel's
+    # draws must not depend on cross-channel interleaving), so sharded runs
+    # use it in classic mode too — batched and classic shards then differ
+    # only in event-id assignment order.
+    config.keyed_network_jitter = True
+
+    dataflow = topologies.by_name(spec.dag)
+    for task in dataflow.sources:
+        if isinstance(task, SourceTask):
+            task.rate = task.rate / spec.shards
+            task.payload_factory = _partitioned_factory(
+                task.payload_factory, spec.index, spec.shards
+            )
+
+    sim = Simulator()
+    provider = CloudProvider(sim)
+    # The network's RNG is the source of every steady-state jitter draw; seed
+    # it from the shard so partitions draw independent jitter and the run's
+    # master seed is actually observable in the merged log.
+    cluster = Cluster(network=NetworkModel(rng=RandomSource(spec.shard_seed)))
+    util_vm = provider.provision(D3, 1, name_prefix="util")[0]
+    util_vm.tags["role"] = "util"
+    cluster.add_vm(util_vm)
+    for vm in provider.provision(D2, vm_counts_for(dataflow).default_d2, name_prefix="d2"):
+        cluster.add_vm(vm)
+
+    runtime = TopologyRuntime(dataflow, cluster, sim=sim, config=config)
+    runtime.deploy()
+    runtime.start()
+    sim.run(until=spec.duration_s)
+    log = runtime.log
+    return ShardResult(
+        index=spec.index,
+        emits=list(log.source_emits),
+        receipts=list(log.sink_receipts),
+        summary=log.summary(),
+    )
+
+
+@dataclass
+class ShardedRunResult:
+    """A partitioned run: per-shard results plus the merged, bit-stable log."""
+
+    specs: List[ShardSpec]
+    results: List[ShardResult]
+    log: EventLog
+    workers: int
+
+    @property
+    def digest(self) -> str:
+        """Content hash of the merged log (worker-count invariant)."""
+        return log_digest(self.log)
+
+
+def run_sharded_experiment(
+    dag: str = "grid",
+    shards: int = 4,
+    workers: Optional[int] = None,
+    duration_s: float = 10.0,
+    seed: int = 2018,
+    strategy: str = "dcr",
+    batch_stepping: bool = True,
+) -> ShardedRunResult:
+    """Run a steady-state experiment partitioned across a process pool.
+
+    ``workers=None`` resolves via ``REPRO_SIM_SHARDS`` (see
+    :func:`~repro.sim.shard.shard_worker_count`); ``workers=1`` runs every
+    shard inline, which must — and is tested to — produce a byte-identical
+    merged log.
+    """
+    specs = plan_shards(
+        dag=dag,
+        shards=shards,
+        duration_s=duration_s,
+        seed=seed,
+        strategy=strategy,
+        batch_stepping=batch_stepping,
+    )
+    if workers is None:
+        workers = shard_worker_count(shards)
+    results = run_shards(specs, run_steady_shard, workers=workers)
+    return ShardedRunResult(
+        specs=specs,
+        results=results,
+        log=merge_shard_results(results),
+        workers=workers,
+    )

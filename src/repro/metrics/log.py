@@ -116,10 +116,21 @@ class EventLog:
 
     # -------------------------------------------------------------- recording
     def record_source_emit(
-        self, root_id: int, source: str, replay_count: int = 0, from_backlog: bool = False
+        self,
+        root_id: int,
+        source: str,
+        replay_count: int = 0,
+        from_backlog: bool = False,
+        at_time: Optional[float] = None,
     ) -> None:
-        """Record that a source emitted (or re-emitted) a root event now."""
-        now = self.sim.now
+        """Record that a source emitted (or re-emitted) a root event.
+
+        ``at_time`` serves the batch-stepping cascade, which materializes
+        many ticks inside one kernel callback: each emission is stamped with
+        its exact tick time.  Stamped times must be non-decreasing (the
+        ``emit_times`` index is binary-searched).
+        """
+        now = self.sim.now if at_time is None else at_time
         self.source_emits.append(
             SourceEmit(time=now, root_id=root_id, source=source,
                        replay_count=replay_count, from_backlog=from_backlog)

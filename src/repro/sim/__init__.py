@@ -22,12 +22,15 @@ Public classes
 """
 
 from repro.sim.kernel import PeriodicTimer, SimulationError, Simulator, Timer
-from repro.sim.rng import RandomSource
+from repro.sim.rng import KeyedStream, RandomSource, keyed_seed, keyed_value
 
 __all__ = [
+    "KeyedStream",
     "PeriodicTimer",
     "RandomSource",
     "SimulationError",
     "Simulator",
     "Timer",
+    "keyed_seed",
+    "keyed_value",
 ]

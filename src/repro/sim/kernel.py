@@ -120,6 +120,13 @@ class Simulator:
         self._stopped = False
         self._processed = 0
         self._cancelled_in_heap = 0
+        #: Upper time bound of the in-flight run() / run_batched() call
+        #: (``None`` when unbounded or idle).  Read-only; lets a callback
+        #: (e.g. the batch-stepping cascade) bound the work it materializes
+        #: without being handed the bound explicitly.
+        self.run_until: Optional[float] = None
+        #: callback -> cohort handler, registered via register_batch_handler().
+        self._batch_handlers: dict = {}
 
     # ------------------------------------------------------------------ clock
     @property
@@ -200,6 +207,121 @@ class Simulator:
         """
         return PeriodicTimer(self, period, callback, args, kwargs, start_delay=start_delay)
 
+    # ------------------------------------------------------- heap inspection
+    def next_timer_time(self) -> Optional[float]:
+        """Earliest pending *cancellable* (Timer) entry time, or ``None``.
+
+        Fast-path (fire-and-forget) entries are ignored.  Used by the batch
+        cascade to find the horizon below which no control-plane callback can
+        preempt it.
+        """
+        best: Optional[float] = None
+        for entry in self._queue:
+            if len(entry) == 3 and not entry[2].cancelled:
+                if best is None or entry[0] < best:
+                    best = entry[0]
+        return best
+
+    def has_fast_entries(self) -> bool:
+        """Whether any fire-and-forget entry is pending in the heap."""
+        for entry in self._queue:
+            if len(entry) == 4:
+                return True
+        return False
+
+    def fast_entries(self) -> List[tuple]:
+        """All pending fire-and-forget entries ``(time, seq, callback, args)``.
+
+        Returned in heap (arbitrary) order without removing them; callers that
+        need chronological order must sort by ``(time, seq)`` themselves.  Used
+        by the batch cascade to inspect in-flight work before ingesting it.
+        """
+        return [entry for entry in self._queue if len(entry) == 4]
+
+    def remove_fast_entries(self) -> None:
+        """Drop every fire-and-forget entry from the heap (timers survive).
+
+        Only meaningful right after :meth:`fast_entries`, when the caller has
+        taken ownership of all in-flight fast-path work (the batch cascade
+        replays it inside its own sweep).  In place: run() keeps a local
+        reference to the heap list.
+        """
+        live = [entry for entry in self._queue if len(entry) != 4]
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+
+    # --------------------------------------------------------- batch stepping
+    def register_batch_handler(self, callback: Callable[..., Any], handler: Callable[[float, list], Any]) -> None:
+        """Register a cohort handler for ``callback`` under :meth:`run_batched`.
+
+        When run_batched() pops a fast-path entry for ``callback`` it collects
+        every *consecutive* same-time, same-callback entry and hands the whole
+        cohort to ``handler(time, [args, ...])`` in one call instead of one
+        callback per event.  Only consecutive entries are coalesced, so the
+        relative order of distinct callbacks at one timestamp is preserved
+        exactly as the classic loop would execute them.
+        """
+        self._batch_handlers[callback] = handler
+
+    def run_batched(self, until: Optional[float] = None) -> None:
+        """Run the event loop, dispatching same-time/same-callback cohorts.
+
+        Semantically equivalent to :meth:`run`: entries still execute in
+        ``(time, seq)`` order.  The only difference is that a consecutive run
+        of fast-path entries sharing a timestamp and a callback with a
+        registered batch handler is delivered as one cohort call, amortizing
+        the per-event dispatch overhead (one ``_maybe_process`` drain per
+        executor per tick instead of one per event).
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = self._processed
+        handlers = self._batch_handlers
+        self.run_until = until
+        try:
+            while queue and not self._stopped:
+                entry = queue[0]
+                if until is not None and entry[0] > until:
+                    break
+                heappop(queue)
+                if len(entry) == 4:
+                    time = entry[0]
+                    callback = entry[2]
+                    handler = handlers.get(callback)
+                    if handler is not None:
+                        cohort = [entry[3]]
+                        while queue:
+                            peek = queue[0]
+                            if len(peek) != 4 or peek[0] != time or peek[2] != callback:
+                                break
+                            cohort.append(heappop(queue)[3])
+                        self.now = time
+                        processed += len(cohort)
+                        handler(time, cohort)
+                    else:
+                        self.now = time
+                        processed += 1
+                        callback(*entry[3])
+                else:
+                    timer = entry[2]
+                    if timer.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    self.now = entry[0]
+                    timer.fired = True
+                    processed += 1
+                    timer.callback(*timer.args, **timer.kwargs)
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._processed = processed
+            self._running = False
+            self.run_until = None
+
     # -------------------------------------------------- cancellation plumbing
     def _note_cancelled(self) -> None:
         """A pending Timer was cancelled; compact the heap if they pile up."""
@@ -275,6 +397,7 @@ class Simulator:
         queue = self._queue
         heappop = heapq.heappop
         processed = self._processed
+        self.run_until = until
         try:
             if until is None and max_events is None:
                 # Run-to-exhaustion: pop directly, no peek needed.
@@ -341,6 +464,7 @@ class Simulator:
         finally:
             self._processed = processed
             self._running = False
+            self.run_until = None
 
     def stop(self) -> None:
         """Request the current :meth:`run` invocation to stop after the current event."""

@@ -1,0 +1,205 @@
+"""Partition-parallel simulation: shard specs, worker pool, deterministic merge.
+
+A *shard* is one hermetic simulation of an independent keyed partition of the
+workload: it owns its own :class:`~repro.sim.kernel.Simulator`, cluster and
+runtime, resets the global event-id counter on entry (exactly as
+``ExperimentMatrix.prefetch`` does for figure cells) and returns only
+picklable record lists.  Because shards never interact, they can run in any
+order on any number of worker processes — the merged
+:class:`~repro.metrics.log.EventLog` depends only on the shard *specs*, never
+on the pool size or completion order.
+
+Merge determinism
+-----------------
+Each shard numbers its events from 1 (hermetic reset), so ids collide across
+shards.  The merge namespaces every id into ``shard_index * SHARD_ID_STRIDE +
+local_id`` — a pure function of the spec — and interleaves the per-shard
+record streams ordered by ``(time, namespaced id)``.  Both steps are
+deterministic, which is what makes an N-worker merged log byte-identical to
+the 1-worker merged log for the same specs (asserted via :func:`log_digest`).
+
+This module deliberately knows nothing about dataflows or clusters: the
+concrete shard runner lives in :mod:`repro.experiments.sharded`, and is passed
+in as a module-level callable so ``multiprocessing`` can pickle it by
+reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.sim.rng import keyed_seed
+
+#: Environment variable naming the default worker-process count for sharded
+#: runs (``0`` or unset: one worker per shard, capped at the CPU count).
+SHARDS_ENV_VAR = "REPRO_SIM_SHARDS"
+
+#: Id namespace stride: merged ids are ``shard_index * stride + local_id``.
+#: 2**40 leaves room for a trillion events per shard while keeping the
+#: namespaced ids exact in float-free integer arithmetic.
+SHARD_ID_STRIDE = 1 << 40
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Parameters of one keyed partition's hermetic simulation.
+
+    ``index``/``shards`` identify the partition (shard ``index`` simulates the
+    global source sequences congruent to ``index`` modulo ``shards``); the
+    rest describe the run every shard performs on its sub-stream.
+    """
+
+    index: int
+    shards: int
+    dag: str = "grid"
+    strategy: str = "dcr"
+    duration_s: float = 10.0
+    seed: int = 2018
+    batch_stepping: bool = True
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if not 0 <= self.index < self.shards:
+            raise ValueError(f"shard index {self.index} outside [0, {self.shards})")
+
+    @property
+    def shard_seed(self) -> int:
+        """Master seed for this shard's runtime (independent across shards)."""
+        return keyed_seed(self.seed, "shard", f"{self.index}/{self.shards}")
+
+    @property
+    def id_offset(self) -> int:
+        """Offset added to this shard's local event/root ids by the merge."""
+        return self.index * SHARD_ID_STRIDE
+
+
+@dataclass
+class ShardResult:
+    """Picklable outcome of one shard: its emission/receipt records.
+
+    ``emits`` and ``receipts`` are the shard log's (time-ordered) record
+    lists; ``summary`` is :meth:`~repro.metrics.log.EventLog.summary`.
+    """
+
+    index: int
+    emits: List = field(default_factory=list)
+    receipts: List = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+
+
+def shard_worker_count(shards: int) -> int:
+    """Resolve the worker-process count for a sharded run.
+
+    ``REPRO_SIM_SHARDS`` wins when set to a positive integer; otherwise one
+    worker per shard, capped at the machine's CPU count.
+    """
+    raw = os.environ.get(SHARDS_ENV_VAR, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            value = 0
+        if value > 0:
+            return min(value, shards)
+    return max(1, min(shards, os.cpu_count() or 1))
+
+
+def run_shards(
+    specs: Sequence[ShardSpec],
+    runner: Callable[[ShardSpec], ShardResult],
+    workers: Optional[int] = None,
+) -> List[ShardResult]:
+    """Run every shard through ``runner``, fanning out across a process pool.
+
+    ``runner`` must be a module-level callable (picklable by reference) that
+    performs a hermetic simulation — including the event-id reset.  With one
+    worker (or one shard) everything runs inline in this process, which is
+    both the sequential baseline for determinism tests and the fallback when
+    process pools are unavailable.  Results are returned in shard order
+    regardless of completion order.
+    """
+    if workers is None:
+        workers = shard_worker_count(len(specs))
+    if workers <= 1 or len(specs) <= 1:
+        results = [runner(spec) for spec in specs]
+    else:
+        with multiprocessing.Pool(processes=min(workers, len(specs))) as pool:
+            results = pool.map(runner, list(specs))
+    return sorted(results, key=lambda result: result.index)
+
+
+def merge_shard_results(results: Sequence[ShardResult]):
+    """Deterministically merge per-shard records into one :class:`EventLog`.
+
+    Ids are namespaced by shard (see :data:`SHARD_ID_STRIDE`) and the
+    per-shard streams — already time-ordered — are interleaved by
+    ``(time, namespaced id)``, so the output is a pure function of the shard
+    results, bit-stable across worker counts and repeat runs.
+    """
+    # Imported here: repro.metrics.log imports repro.sim, so a module-level
+    # import would make this module unimportable from repro.metrics.
+    from repro.metrics.log import EventLog
+    from repro.sim.kernel import Simulator
+
+    log = EventLog(Simulator())
+    ordered = sorted(results, key=lambda result: result.index)
+
+    def _emits(result: ShardResult, offset: int):
+        return ((emit.time, emit.root_id + offset, emit) for emit in result.emits)
+
+    def _receipts(result: ShardResult, offset: int):
+        return (
+            (receipt.time, receipt.event_id + offset, receipt.root_id + offset, receipt)
+            for receipt in result.receipts
+        )
+
+    emit_streams = [_emits(r, r.index * SHARD_ID_STRIDE) for r in ordered]
+    receipt_streams = [_receipts(r, r.index * SHARD_ID_STRIDE) for r in ordered]
+
+    for time, root_id, emit in heapq.merge(*emit_streams, key=lambda item: item[:2]):
+        log.record_source_emit(
+            root_id=root_id,
+            source=emit.source,
+            replay_count=emit.replay_count,
+            from_backlog=emit.from_backlog,
+            at_time=time,
+        )
+    for time, event_id, root_id, receipt in heapq.merge(
+        *receipt_streams, key=lambda item: item[:2]
+    ):
+        log.record_sink_receipt(
+            root_id=root_id,
+            event_id=event_id,
+            sink=receipt.sink,
+            root_emitted_at=receipt.root_emitted_at,
+            replay_count=receipt.replay_count,
+            at_time=time,
+        )
+    return log
+
+
+def log_digest(log) -> str:
+    """Stable content hash of a log's emission/receipt records.
+
+    Floats are rendered with ``repr`` (shortest round-trip form), so two logs
+    share a digest iff every record field is bit-identical — the check behind
+    the "N workers == 1 worker" acceptance criterion.
+    """
+    hasher = hashlib.sha256()
+    for emit in log.source_emits:
+        hasher.update(
+            f"E {emit.time!r} {emit.root_id} {emit.source} "
+            f"{emit.replay_count} {int(emit.from_backlog)}\n".encode("utf-8")
+        )
+    for receipt in log.sink_receipts:
+        hasher.update(
+            f"R {receipt.time!r} {receipt.root_id} {receipt.event_id} {receipt.sink} "
+            f"{receipt.root_emitted_at!r} {receipt.replay_count}\n".encode("utf-8")
+        )
+    return hasher.hexdigest()

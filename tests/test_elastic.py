@@ -158,16 +158,22 @@ class TestElasticEndToEnd:
         assert len(ins) >= 1, "the surge's end must trigger a scale-in"
         assert all(a.is_complete for a in result.actions)
 
-        # Scale-out vacated the initial D2 fleet; billing stopped for it.
+        # Incremental placement (the default) grows in place: the surge tier
+        # fits on the initial D2 fleet's spare slots, so the scale-out keeps
+        # the fleet and provisions nothing (full-replace would have re-fleeted
+        # onto a fresh D1-per-slot allocation here).
         first_out = outs[0]
-        assert set(first_out.deprovisioned_vm_ids) == set(result.initial_vm_ids)
+        assert first_out.provisioned_vm_ids == []
+        assert first_out.deprovisioned_vm_ids == []
+
+        # The consolidating scale-in re-fleets (a private fleet has no shared
+        # free slots to absorb into): a fresh baseline-sized D2 fleet replaces
+        # the original one, whose billing is finalized.
+        assert set(ins[-1].deprovisioned_vm_ids) == set(result.initial_vm_ids)
         finalized = {
             r.vm_id for r in result.provider.billing_records if r.deprovisioned_at is not None
         }
         assert set(result.initial_vm_ids) <= finalized
-
-        # Scale-in released the whole D1 fleet again.
-        assert set(ins[-1].deprovisioned_vm_ids) == set(first_out.provisioned_vm_ids)
         final_fleet = result.runtime.cluster.describe()
         assert "D1" not in final_fleet
         assert final_fleet[D2.name] == 7
