@@ -12,7 +12,10 @@ When ``results/BENCH_predictive.json`` exists (written by the CI ``repro
 predict --json`` smoke run), its headline numbers — per-policy SLO-violation
 seconds, riding the ``mean_s`` field — are folded into the same entry, so
 the trend chart tracks the control plane's SLO behaviour across PRs next to
-the engine timings.
+the engine timings.  ``results/BENCH_chaos.json`` (written by the ``repro
+chaos --json`` smoke run) is folded in the same way: per-mode restore
+latency, replay count and cloud bill under the eviction storm, so recovery
+regressions show up as >20% drift warnings like any benchmark.
 
 In CI the ``engine-benchmarks`` job restores the previous trend file from
 the actions cache (``bench-trend-*`` prefix restore), runs this script right
@@ -37,6 +40,7 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 DEFAULT_CURRENT = HERE.parent / "results" / "BENCH_engine.json"
 DEFAULT_PREDICTIVE = HERE.parent / "results" / "BENCH_predictive.json"
+DEFAULT_CHAOS = HERE.parent / "results" / "BENCH_chaos.json"
 DEFAULT_TREND = HERE.parent / "results" / "BENCH_trend.json"
 
 #: Cap so a long-lived local history cannot grow without bound.
@@ -59,6 +63,9 @@ def main() -> int:
     parser.add_argument("--predictive", type=Path, default=DEFAULT_PREDICTIVE,
                         help="BENCH_predictive.json produced by the 'repro predict --json' "
                              "smoke run (merged when present)")
+    parser.add_argument("--chaos", type=Path, default=DEFAULT_CHAOS,
+                        help="BENCH_chaos.json produced by the 'repro chaos --json' "
+                             "smoke run (merged when present)")
     parser.add_argument("--trend", type=Path, default=DEFAULT_TREND,
                         help="trend JSON to append to (created if absent)")
     args = parser.parse_args()
@@ -73,14 +80,16 @@ def main() -> int:
         name: {"mean_s": stats["mean_s"], "stddev_s": stats.get("stddev_s")}
         for name, stats in current.get("benchmarks", {}).items()
     }
-    if args.predictive.exists():
+    for label, extra_path in (("predictive", args.predictive), ("chaos", args.chaos)):
+        if not extra_path.exists():
+            continue
         try:
-            predictive = json.loads(args.predictive.read_text(encoding="utf-8"))
+            extra = json.loads(extra_path.read_text(encoding="utf-8"))
         except json.JSONDecodeError:
-            print(f"warning: {args.predictive} was unreadable; skipping predictive numbers",
+            print(f"warning: {extra_path} was unreadable; skipping {label} numbers",
                   file=sys.stderr)
-            predictive = {}
-        for name, stats in predictive.get("benchmarks", {}).items():
+            continue
+        for name, stats in extra.get("benchmarks", {}).items():
             if isinstance(stats, dict) and "mean_s" in stats:
                 benchmarks[name] = {"mean_s": stats["mean_s"], "stddev_s": stats.get("stddev_s")}
     entry = {

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro predict --dag grid --profile surge --slo 30
     python -m repro multi --dags traffic,grid --strategy ccr
     python -m repro shard --dag grid --shards 4 --workers 2
+    python -m repro chaos --dag grid-keyed --strategy dsm --storms 3
     python -m repro figure table1
     python -m repro figure fig5 --scaling out --jobs 4
     python -m repro figure drain
@@ -24,7 +25,10 @@ dynamism scenario once per forecast policy (reactive / EWMA / Holt-Winters /
 profile lookahead) and prints the SLO-violation / provisioning-lead-time /
 cost comparison; ``multi`` hosts several dataflows as tenants of one shared,
 budget-arbitrated fleet (offset surges) and compares every tenant against
-its private-fleet baseline; ``figure`` regenerates one of the paper's
+its private-fleet baseline; ``chaos`` fires a deterministic spot-eviction
+storm at the fleet and compares notice-aware draining against oblivious
+unplanned recovery on restore latency, replays and the bill; ``figure``
+regenerates one of the paper's
 tables/figures (the same drivers the benchmark harness uses, ``--jobs N``
 fans the experiment matrix out across processes) and prints the reproduced
 rows next to the paper's published values.
@@ -41,6 +45,7 @@ from repro.elastic import ControllerConfig
 from repro.elastic.forecast import FORECAST_POLICIES
 from repro.experiments.predictive import DEFAULT_POLICIES
 from repro.experiments import (
+    run_chaos_experiment,
     run_elastic_experiment,
     run_migration_experiment,
     run_multi_experiment,
@@ -48,6 +53,7 @@ from repro.experiments import (
     run_rescale_experiment,
     run_sharded_experiment,
 )
+from repro.experiments.chaos import DEFAULT_MODES
 from repro.experiments.figures import (
     ExperimentMatrix,
     drain_time_rows,
@@ -388,6 +394,62 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.duration <= 0:
+        print("repro chaos: error: --duration must be positive", file=sys.stderr)
+        return 2
+    if args.storms < 1:
+        print("repro chaos: error: --storms must be >= 1", file=sys.stderr)
+        return 2
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    unknown = [m for m in modes if m not in DEFAULT_MODES]
+    if unknown:
+        print(f"repro chaos: error: unknown recovery mode(s) {unknown}; choose from "
+              f"{list(DEFAULT_MODES)}", file=sys.stderr)
+        return 2
+    result = run_chaos_experiment(
+        dag=args.dag,
+        strategy=args.strategy,
+        modes=modes,
+        duration_s=args.duration,
+        seed=args.seed,
+        storm_count=args.storms,
+        storm_start_s=args.storm_start,
+        storm_spacing_s=args.storm_spacing,
+        notice_s=args.notice,
+    )
+
+    print(f"Chaos run: {args.dag} / {args.strategy} / {args.storms} spot evictions "
+          f"({args.notice:g}s notice) over a {args.duration:.0f}s run")
+    print()
+    print(format_table(
+        [summary.as_dict() for summary in result.runs.values()],
+        title="Recovery modes (restore_s = unavailability after each reclaim)",
+    ))
+    print()
+    for summary in result.runs.values():
+        run = summary.result
+        for fault in run.injector.records:
+            when = f"t={fault.fired_at:7.1f}s" if fault.fired_at is not None else "unfired"
+            print(f"  {summary.mode:10s} {when} {fault.event.kind:6s} "
+                  f"{fault.vm_id or '-':10s} -> {fault.outcome}")
+    notice, oblivious = result.notice, result.oblivious
+    if notice is not None and oblivious is not None:
+        print()
+        if (notice.mean_restore_s <= oblivious.mean_restore_s
+                and notice.total_cost <= oblivious.total_cost):
+            print(f"Notice-aware recovery wins on both axes: "
+                  f"{notice.mean_restore_s:.1f}s vs {oblivious.mean_restore_s:.1f}s restore, "
+                  f"${notice.total_cost:.4f} vs ${oblivious.total_cost:.4f} bill.")
+        else:
+            print("The notice window did not pay for itself on this storm "
+                  "(try a longer notice, a milder storm, or a faster strategy).")
+    if args.json:
+        path = result.write_headline_json(args.json)
+        print(f"\n[headline numbers written to {path}]")
+    return 0
+
+
 def _matrix(args: argparse.Namespace) -> ExperimentMatrix:
     return ExperimentMatrix(
         migrate_at_s=args.migrate_at,
@@ -565,6 +627,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the batch-stepping cascade inside each shard")
     shard.add_argument("--seed", type=int, default=2018)
     shard.set_defaults(func=_cmd_shard)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="ride a spot-eviction storm with notice-aware vs oblivious recovery",
+    )
+    chaos.add_argument("--dag", default="grid-keyed", choices=sorted(topologies.ALL_TOPOLOGIES))
+    chaos.add_argument("--strategy", default="dsm", choices=("dsm", "dcr", "ccr"))
+    chaos.add_argument("--modes", default=",".join(DEFAULT_MODES),
+                       help="comma-separated recovery modes to compare")
+    chaos.add_argument("--duration", type=float, default=600.0,
+                       help="total simulated run time (seconds)")
+    chaos.add_argument("--storms", type=int, default=3,
+                       help="number of spot evictions in the storm")
+    chaos.add_argument("--storm-start", type=float, default=150.0, dest="storm_start",
+                       help="simulated time of the first eviction (seconds)")
+    chaos.add_argument("--storm-spacing", type=float, default=120.0, dest="storm_spacing",
+                       help="spacing between evictions (seconds, plus keyed jitter)")
+    chaos.add_argument("--notice", type=float, default=120.0,
+                       help="eviction notice window (seconds)")
+    chaos.add_argument("--json", default="",
+                       help="also write the headline numbers to this JSON file "
+                            "(fed into the CI perf-trend accumulation)")
+    chaos.add_argument("--seed", type=int, default=2018)
+    chaos.set_defaults(func=_cmd_chaos)
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's tables/figures")
     figure.add_argument("name", choices=("table1", "fig5", "fig6", "fig7", "fig8", "fig9",

@@ -17,7 +17,23 @@ one-executor-per-slot invariant.
 """
 
 from repro.cluster.vm import Slot, VirtualMachine, VMType, D1, D2, D3, VM_TYPES
-from repro.cluster.cloud import BillingRecord, CloudProvider, Cluster, NetworkModel
+from repro.cluster.cloud import (
+    ON_DEMAND,
+    SPOT,
+    BillingRecord,
+    CloudProvider,
+    Cluster,
+    NetworkModel,
+    ProvisioningModel,
+    ProvisionTicket,
+    SpotMarket,
+)
+from repro.cluster.chaos import (
+    ChaosSchedule,
+    FaultEvent,
+    FaultInjector,
+    FaultRecord,
+)
 from repro.cluster.placement import PlacementPlan, placement_diff
 from repro.cluster.scheduler import (
     ResourceAwareScheduler,
@@ -28,13 +44,22 @@ from repro.cluster.scheduler import (
 
 __all__ = [
     "BillingRecord",
+    "ChaosSchedule",
     "CloudProvider",
     "Cluster",
     "D1",
     "D2",
     "D3",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultRecord",
     "NetworkModel",
+    "ON_DEMAND",
     "PlacementPlan",
+    "ProvisioningModel",
+    "ProvisionTicket",
+    "SPOT",
+    "SpotMarket",
     "ResourceAwareScheduler",
     "RoundRobinScheduler",
     "Scheduler",

@@ -13,10 +13,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim import KeyedStream, RandomSource, Simulator, keyed_seed
 from repro.cluster.vm import Slot, VirtualMachine, VMType
+
+#: Market names used in billing records and ``vm.tags["market"]``.
+ON_DEMAND = "on-demand"
+SPOT = "spot"
 
 
 @dataclass
@@ -28,6 +32,7 @@ class BillingRecord:
     provisioned_at: float
     deprovisioned_at: Optional[float]
     hourly_cost: float
+    market: str = ON_DEMAND
 
     def cost(self, now: float, billing_granularity_s: float = 60.0) -> float:
         """Accrued cost, rounded *up* to the billing granularity (per-minute default)."""
@@ -35,6 +40,63 @@ class BillingRecord:
         duration = max(0.0, end - self.provisioned_at)
         billed = math.ceil(duration / billing_granularity_s) * billing_granularity_s
         return self.hourly_cost * billed / 3600.0
+
+
+@dataclass(frozen=True)
+class SpotMarket:
+    """Spot/preemptible market terms: discounted VMs the cloud may reclaim.
+
+    Spot VMs bill at ``discount`` times the on-demand rate but are exposed to
+    an eviction process (mean ``eviction_rate_per_hour`` per VM-hour); the
+    provider sends an eviction *notice* ``notice_s`` seconds before reclaiming
+    the VM — the window a notice-aware controller has to drain and migrate.
+    """
+
+    discount: float = 0.35
+    eviction_rate_per_hour: float = 0.0
+    notice_s: float = 120.0
+
+    def spot_hourly_cost(self, vm_type: VMType) -> float:
+        """Hourly spot price for the flavour."""
+        return vm_type.hourly_cost * self.discount
+
+    def eviction_probability(self, horizon_s: float) -> float:
+        """P(a spot VM is evicted at least once within the horizon)."""
+        if self.eviction_rate_per_hour <= 0 or horizon_s <= 0:
+            return 0.0
+        return 1.0 - math.exp(-self.eviction_rate_per_hour * horizon_s / 3600.0)
+
+
+@dataclass(frozen=True)
+class ProvisioningModel:
+    """Latency distribution for VM provisioning, with straggler/failure tails.
+
+    A provisioning attempt takes ``base_latency_s`` plus uniform jitter; with
+    probability ``straggler_prob`` the attempt is a straggler and takes
+    ``straggler_multiplier`` times longer, and with probability
+    ``failure_prob`` it fails outright (the request is retried, the failed
+    attempt's latency is still paid, and nothing is billed for it).
+    All draws are keyed by VM id, so they are schedule-independent.
+    """
+
+    base_latency_s: float = 30.0
+    jitter_fraction: float = 0.2
+    straggler_prob: float = 0.0
+    straggler_multiplier: float = 4.0
+    failure_prob: float = 0.0
+
+
+@dataclass
+class ProvisionTicket:
+    """One VM provisioned asynchronously: ready ``delay_s`` from request time.
+
+    ``failures`` counts failed attempts retried (and paid for in latency)
+    before this VM came up.
+    """
+
+    vm: VirtualMachine
+    delay_s: float
+    failures: int
 
 
 class NetworkModel:
@@ -120,9 +182,20 @@ class Cluster:
         self._vms[vm.vm_id] = vm
 
     def remove_vm(self, vm_id: str) -> VirtualMachine:
-        """Remove a VM from the cluster and return it."""
+        """Remove a VM from the cluster and return it.
+
+        Fails loudly if the VM still hosts executors: silently removing an
+        occupied VM would strand router routes pointing at a vanished VM.
+        Callers tearing down a failed VM must kill its executors and release
+        their slots first (see ``TopologyRuntime.fail_vm``).
+        """
         if vm_id not in self._vms:
             raise KeyError(f"VM {vm_id} is not part of the cluster")
+        occupied = [slot.executor_id for slot in self._vms[vm_id].occupied_slots]
+        if occupied:
+            raise ValueError(
+                f"cannot remove VM {vm_id}: slots still occupied by {occupied}"
+            )
         return self._vms.pop(vm_id)
 
     @property
@@ -206,19 +279,63 @@ class CloudProvider:
         provisioning_latency_s: float = 30.0,
         billing_granularity_s: float = 60.0,
         rng: Optional[RandomSource] = None,
+        spot_market: Optional[SpotMarket] = None,
+        provisioning: Optional[ProvisioningModel] = None,
     ) -> None:
         self.sim = sim
         self.provisioning_latency_s = provisioning_latency_s
         self.billing_granularity_s = billing_granularity_s
+        self.spot_market = spot_market
+        self.provisioning = provisioning
+        self.provisioning_failures = 0
         self._rng = rng or RandomSource()
         self._counter = 0
         self._billing: Dict[str, BillingRecord] = {}
+        self._subscribers: List[Callable[[VirtualMachine], None]] = []
 
-    def provision(self, vm_type: VMType, count: int = 1, name_prefix: Optional[str] = None) -> List[VirtualMachine]:
+    def subscribe(self, callback: Callable[[VirtualMachine], None]) -> None:
+        """Register a callback invoked for every VM this provider creates.
+
+        The chaos layer uses this to arm eviction processes on spot VMs as
+        they appear, including replacements provisioned mid-run.
+        """
+        self._subscribers.append(callback)
+
+    def _create(self, vm_id: str, vm_type: VMType, market: str, ready_at: float) -> VirtualMachine:
+        hourly = vm_type.hourly_cost
+        if market == SPOT:
+            if self.spot_market is None:
+                raise ValueError("provider has no spot market configured")
+            hourly = self.spot_market.spot_hourly_cost(vm_type)
+        elif market != ON_DEMAND:
+            raise ValueError(f"unknown market {market!r}")
+        vm = VirtualMachine(vm_id=vm_id, vm_type=vm_type)
+        vm.provisioned_at = ready_at
+        vm.tags["market"] = market
+        self._billing[vm.vm_id] = BillingRecord(
+            vm_id=vm.vm_id,
+            vm_type=vm_type.name,
+            provisioned_at=ready_at,
+            deprovisioned_at=None,
+            hourly_cost=hourly,
+            market=market,
+        )
+        for callback in self._subscribers:
+            callback(vm)
+        return vm
+
+    def provision(
+        self,
+        vm_type: VMType,
+        count: int = 1,
+        name_prefix: Optional[str] = None,
+        market: str = ON_DEMAND,
+    ) -> List[VirtualMachine]:
         """Provision ``count`` VMs of the given flavour immediately.
 
         The VMs are marked provisioned at the current simulated time; billing
-        starts now.  Returns the new VMs.
+        starts now (at the spot rate when ``market="spot"``).  Returns the
+        new VMs.
         """
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
@@ -226,17 +343,79 @@ class CloudProvider:
         for _ in range(count):
             self._counter += 1
             prefix = name_prefix or vm_type.name.lower()
-            vm = VirtualMachine(vm_id=f"{prefix}-{self._counter:03d}", vm_type=vm_type)
-            vm.provisioned_at = self.sim.now
-            self._billing[vm.vm_id] = BillingRecord(
-                vm_id=vm.vm_id,
-                vm_type=vm_type.name,
-                provisioned_at=self.sim.now,
-                deprovisioned_at=None,
-                hourly_cost=vm_type.hourly_cost,
-            )
-            vms.append(vm)
+            vms.append(self._create(f"{prefix}-{self._counter:03d}", vm_type, market, self.sim.now))
         return vms
+
+    def draw_provisioning(self, vm_id: str) -> Tuple[float, bool]:
+        """Keyed ``(latency_s, succeeded)`` draw for one provisioning attempt.
+
+        With no :class:`ProvisioningModel` configured, attempts always succeed
+        after the flat ``provisioning_latency_s``.  Draws are keyed by
+        ``(master_seed, "provisioning", vm_id)`` so they do not depend on
+        what else the simulation interleaves.
+        """
+        model = self.provisioning
+        if model is None:
+            return self.provisioning_latency_s, True
+        stream = KeyedStream(keyed_seed(self._rng.master_seed, "provisioning", vm_id))
+        latency = model.base_latency_s
+        if model.jitter_fraction > 0:
+            latency *= 1.0 + stream.uniform(-model.jitter_fraction, model.jitter_fraction)
+        if model.straggler_prob > 0 and stream.random() < model.straggler_prob:
+            latency *= model.straggler_multiplier
+        ok = not (model.failure_prob > 0 and stream.random() < model.failure_prob)
+        return max(0.0, latency), ok
+
+    def provision_with_latency(
+        self,
+        vm_type: VMType,
+        count: int = 1,
+        name_prefix: Optional[str] = None,
+        market: str = ON_DEMAND,
+    ) -> List[ProvisionTicket]:
+        """Provision ``count`` VMs asynchronously, drawing per-VM latencies.
+
+        Each returned ticket carries the VM and the delay until it is ready;
+        the caller schedules its own readiness callback and adds the VM to a
+        cluster when the delay elapses.  Failed attempts (per the
+        :class:`ProvisioningModel` failure tail) are retried: their latency
+        adds to the delay, they bill nothing, and they are counted in
+        ``provisioning_failures`` and on the ticket.  Billing for the
+        successful VM starts at its *ready* time, not at request time.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        prefix = name_prefix or vm_type.name.lower()
+        tickets = []
+        for _ in range(count):
+            delay = 0.0
+            failures = 0
+            while True:
+                self._counter += 1
+                vm_id = f"{prefix}-{self._counter:03d}"
+                latency, ok = self.draw_provisioning(vm_id)
+                delay += latency
+                if ok:
+                    break
+                failures += 1
+                self.provisioning_failures += 1
+            vm = self._create(vm_id, vm_type, market, self.sim.now + delay)
+            tickets.append(ProvisionTicket(vm=vm, delay_s=delay, failures=failures))
+        return tickets
+
+    def mark_failed(self, vm: VirtualMachine) -> None:
+        """Finalize billing for a VM lost to a crash or spot eviction.
+
+        Unlike :meth:`deprovision` this does not require the VM's slots to be
+        free — the cloud took the machine, occupied or not.  Executor
+        teardown is the runtime's problem (``TopologyRuntime.fail_vm``).
+        """
+        if vm.deprovisioned_at is not None:
+            raise ValueError(f"VM {vm.vm_id} is already deprovisioned")
+        vm.deprovisioned_at = self.sim.now
+        record = self._billing.get(vm.vm_id)
+        if record is not None:
+            record.deprovisioned_at = self.sim.now
 
     def deprovision(self, vm: VirtualMachine) -> None:
         """Release a VM; billing is finalized at the current simulated time.
@@ -275,3 +454,11 @@ class CloudProvider:
     def total_cost(self) -> float:
         """Total accrued cost across all VMs at the current simulated time."""
         return sum(r.cost(self.sim.now, self.billing_granularity_s) for r in self._billing.values())
+
+    def cost_breakdown(self) -> Dict[str, float]:
+        """Accrued cost per market, e.g. ``{"on-demand": 1.2, "spot": 0.4}``."""
+        breakdown: Dict[str, float] = {}
+        for record in self._billing.values():
+            cost = record.cost(self.sim.now, self.billing_granularity_s)
+            breakdown[record.market] = breakdown.get(record.market, 0.0) + cost
+        return breakdown

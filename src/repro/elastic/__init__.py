@@ -37,7 +37,13 @@ compares the forecast policies head to head; the ``repro elastic`` and
 ``repro predict`` CLI subcommands drive them.
 """
 
-from repro.elastic.controller import ControllerConfig, ElasticityController, ScalingAction
+from repro.elastic.controller import (
+    ControllerConfig,
+    ElasticityController,
+    EvacuationRecord,
+    RecoveryRecord,
+    ScalingAction,
+)
 from repro.elastic.forecast import (
     FORECAST_POLICIES,
     EwmaPolicy,
@@ -51,7 +57,10 @@ from repro.elastic.monitor import ElasticityMonitor, MonitorSample
 from repro.elastic.planner import (
     TIER_ORDER,
     AllocationPlanner,
+    CostPlan,
+    FleetOption,
     TargetAllocation,
+    cost_optimal_fleet,
     plan_user_tasks_on,
 )
 from repro.elastic.policy import (
@@ -73,10 +82,13 @@ __all__ = [
     "AllocationPlanner",
     "ControlPipeline",
     "ControllerConfig",
+    "CostPlan",
     "DemandForecast",
     "ElasticityController",
     "ElasticityMonitor",
+    "EvacuationRecord",
     "EwmaPolicy",
+    "FleetOption",
     "FORECAST_POLICIES",
     "ForecastPolicy",
     "FullReplacePlacement",
@@ -90,11 +102,13 @@ __all__ = [
     "ProfileLookaheadPolicy",
     "ProvisioningRequest",
     "ReactivePolicy",
+    "RecoveryRecord",
     "ScalingAction",
     "SenseReading",
     "SenseStage",
     "TargetAllocation",
     "TIER_ORDER",
+    "cost_optimal_fleet",
     "forecast_policy_by_name",
     "placement_policy_by_name",
     "plan_user_tasks_on",

@@ -56,11 +56,13 @@ overriding :meth:`ElasticityController._acquire_capacity` and
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Type
+from typing import Dict, List, Optional, Sequence, Type
 
-from repro.cluster.cloud import CloudProvider
-from repro.cluster.vm import VM_TYPES
+from repro.cluster.cloud import ON_DEMAND, CloudProvider
+from repro.cluster.placement import PlacementPlan, incremental_plan
+from repro.cluster.vm import VM_TYPES, VirtualMachine, VMType
 from repro.core.strategy import MigrationReport, MigrationStrategy
 from repro.elastic.forecast import ForecastPolicy
 from repro.elastic.monitor import ElasticityMonitor, MonitorSample
@@ -68,6 +70,7 @@ from repro.elastic.planner import (
     TIER_ORDER,
     AllocationPlanner,
     TargetAllocation,
+    cost_optimal_fleet,
 )
 from repro.elastic.policy import ControlPipeline, PlacementPolicy, PlanDecision
 from repro.engine.runtime import TopologyRuntime
@@ -121,6 +124,10 @@ class ControllerConfig:
     #: place and migrate only the delta — the default) or ``full-replace``
     #: (the paper's re-fleet: provision a whole new fleet and move everything).
     placement: str = "incremental"
+    #: Billing horizon an eviction-notice evacuation assumes when shopping
+    #: the market for replacement capacity (spot vs on-demand, see
+    #: :meth:`ElasticityController.handle_eviction_notice`).
+    evacuation_horizon_s: float = 3600.0
 
     def __post_init__(self) -> None:
         if self.check_interval_s <= 0:
@@ -141,6 +148,8 @@ class ControllerConfig:
             raise ValueError("slo_confirm_samples must be at least 1")
         if self.slo_headroom <= 1.0:
             raise ValueError("slo_headroom must be above 1")
+        if self.evacuation_horizon_s <= 0:
+            raise ValueError("evacuation_horizon_s must be positive")
 
 
 @dataclass
@@ -177,6 +186,9 @@ class ScalingAction:
     completed_at: Optional[float] = None
     #: The strategy's migration report, filled in as the protocol runs.
     report: Optional[MigrationReport] = None
+    #: Whether the action was abandoned before enactment (every target VM
+    #: died during provisioning — see ``handle_vm_failure``).
+    aborted: bool = False
 
     @property
     def is_complete(self) -> bool:
@@ -193,6 +205,74 @@ class ScalingAction:
         shared slots provisions zero.
         """
         return sum(VM_TYPES[name].slots * count for name, count in self.provision_counts.items())
+
+
+@dataclass
+class RecoveryRecord:
+    """Bookkeeping for one unplanned VM loss and its recovery."""
+
+    vm_id: str
+    #: Fault kind the cloud reported (``"kill"`` or an overdue ``"evict"``).
+    kind: str
+    failed_at: float
+    #: Executors that died with the VM.
+    lost_executors: List[str]
+    #: Data events dropped with them (queued + in-memory).
+    events_lost: int = 0
+    #: Tuple trees failed fast through the acker (acking runs only).
+    trees_failed: int = 0
+    #: Replacement VMs provisioned (on-demand — unplanned recovery has no
+    #: notice window in which to shop the market).
+    replacement_vm_ids: List[str] = field(default_factory=list)
+    #: Failed provisioning attempts paid for while bringing replacements up.
+    provisioning_failures: int = 0
+    pending_replacements: int = 0
+    #: When the recovery rebalance re-placed the victims.
+    rebalanced_at: Optional[float] = None
+    #: When the targeted INIT wave finished restoring their state.
+    restored_at: Optional[float] = None
+
+    @property
+    def recovery_latency_s(self) -> Optional[float]:
+        """Failure to fully-restored, seconds (``None`` while in progress)."""
+        if self.restored_at is None:
+            return None
+        return self.restored_at - self.failed_at
+
+
+@dataclass
+class EvacuationRecord:
+    """Bookkeeping for one eviction notice and the drain it triggered."""
+
+    vm_id: str
+    notice_at: float
+    #: When the cloud will reclaim the VM if it is still around.
+    deadline: float
+    #: When the evacuation actually started (a migration already in flight
+    #: delays it).
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    #: Whether the VM was drained and released before the deadline (the
+    #: eviction never happened; billing stopped early).
+    evaded: bool = False
+    #: Whether the deadline arrived before the drain finished (the kill then
+    #: takes the unplanned-recovery path).
+    overrun: bool = False
+    #: Whether the evacuation migration was actually issued.
+    migration_issued: bool = False
+    replacement_vm_ids: List[str] = field(default_factory=list)
+    #: Market the replacement capacity was bought on (the notice window buys
+    #: time to choose; ``None`` when no capacity was needed).
+    replacement_market: Optional[str] = None
+    pending_replacements: int = 0
+    report: Optional[MigrationReport] = None
+
+    @property
+    def evacuation_latency_s(self) -> Optional[float]:
+        """Drain start to drain complete, seconds (``None`` while in progress)."""
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
 
 
 class ElasticityController:
@@ -236,6 +316,8 @@ class ElasticityController:
         self.pipeline = pipeline
         self.tier = initial_tier
         self.actions: List[ScalingAction] = []
+        self.recoveries: List[RecoveryRecord] = []
+        self.evacuations: List[EvacuationRecord] = []
         self._timer = None
         self._pending_tier: Optional[str] = None
         self._pending_count = 0
@@ -365,6 +447,8 @@ class ElasticityController:
         return True
 
     def _start_migration(self, action: ScalingAction) -> None:
+        if action.aborted:
+            return
         # Worker VMs in use before the migration; vacated ones are released
         # once the protocol completes.  VMs the place stage retained and the
         # util VM never migrate.  Sorted: ``vms_used`` is a set, and
@@ -429,3 +513,312 @@ class ElasticityController:
                 continue  # something still lives there, keep paying
             self.provider.release_from(self.runtime.cluster, vm_id)
             action.deprovisioned_vm_ids.append(vm_id)
+
+    # ------------------------------------------------------ unplanned failures
+    def handle_vm_failure(self, vm_id: str, kind: str = "kill") -> Optional[RecoveryRecord]:
+        """Recover from a VM the cloud reclaimed with zero effective notice.
+
+        Tears the VM down through :meth:`TopologyRuntime.fail_vm` (killing its
+        executors, failing their tuple trees fast, releasing the slots),
+        finalizes its billing, and — when executors were lost — provisions
+        on-demand replacement capacity if the surviving fleet cannot host
+        them, re-places the victims with an incremental rebalance (survivors
+        keep their slots), and restores their keyed state from the last
+        stored checkpoint via a targeted INIT wave.
+
+        If the VM was mid-*evacuation* (its eviction deadline arrived before
+        the drain finished), the in-flight evacuation migration already
+        re-places everything; no second recovery is started.  A pending
+        scaling action loses the dead VM from its fleet lists; a delta VM
+        that dies before its migration is enacted is replaced like-for-like
+        (or the action is aborted when no target VMs remain).
+
+        Returns the recovery record, or ``None`` if the VM is unknown.
+        """
+        runtime = self.runtime
+        if vm_id not in runtime.cluster:
+            return None
+        vm = runtime.cluster.vm(vm_id)
+        vm_type = vm.vm_type
+        failure = runtime.fail_vm(vm_id)
+        if vm.deprovisioned_at is None:
+            self.provider.mark_failed(vm)
+        record = RecoveryRecord(
+            vm_id=vm_id,
+            kind=kind,
+            failed_at=failure.failed_at,
+            lost_executors=list(failure.lost),
+            events_lost=failure.events_lost,
+            trees_failed=failure.trees_failed,
+        )
+        self.recoveries.append(record)
+        self._prune_dead_vm(vm_id, vm_type)
+        evacuation = self._active_evacuation(vm_id)
+        if evacuation is not None:
+            evacuation.overrun = True
+            if not evacuation.migration_issued:
+                # The drain never got going (still waiting on capacity or on
+                # another migration): unplanned recovery owns the mess now.
+                evacuation.completed_at = runtime.sim.now
+                self._migration_in_flight = False
+                evacuation = None
+        if not failure.lost:
+            record.restored_at = runtime.sim.now
+        elif evacuation is None:
+            self._plan_recovery(record, vm_type)
+        # else: the in-flight evacuation migration re-places and re-inits the
+        # victims through its own rebalance + INIT wave.
+        return record
+
+    def handle_eviction_notice(self, vm_id: str, deadline: float) -> Optional[EvacuationRecord]:
+        """React to a spot eviction notice: drain the doomed VM in the window.
+
+        Provisions replacement capacity if needed — the notice window buys
+        time to shop the market, so replacements go to whichever of spot /
+        on-demand is cheaper over ``evacuation_horizon_s`` — then migrates
+        every executor off the doomed VM with the configured strategy and
+        releases it, stopping its bill *before* the deadline.  If a scaling
+        migration is in flight the drain retries until the window closes; a
+        deadline overrun degrades to the unplanned :meth:`handle_vm_failure`
+        path when the injector fires the kill.
+
+        Returns the evacuation record, or ``None`` if the VM is unknown.
+        """
+        runtime = self.runtime
+        if vm_id not in runtime.cluster:
+            return None
+        record = EvacuationRecord(vm_id=vm_id, notice_at=runtime.sim.now, deadline=deadline)
+        self.evacuations.append(record)
+        self._try_evacuate(record)
+        return record
+
+    # --------------------------------------------------------- recovery internals
+    def _active_evacuation(self, vm_id: str) -> Optional[EvacuationRecord]:
+        for record in reversed(self.evacuations):
+            if record.vm_id == vm_id and record.started_at is not None and record.completed_at is None:
+                return record
+        return None
+
+    def _prune_dead_vm(self, vm_id: str, vm_type: VMType) -> None:
+        """Drop a vanished VM from the pending action's fleet lists."""
+        action = self.last_action
+        if action is None or action.is_complete or action.aborted:
+            return
+        if vm_id in action.kept_vm_ids:
+            action.kept_vm_ids.remove(vm_id)
+        if vm_id in action.provisioned_vm_ids:
+            action.provisioned_vm_ids.remove(vm_id)
+            if action.enacted_at is None:
+                self._replace_dead_delta(action, vm_type)
+
+    def _replace_dead_delta(self, action: ScalingAction, vm_type: VMType) -> None:
+        """A delta VM died before its migration was enacted.
+
+        Provision a like-for-like replacement so the staged migration still
+        has its target fleet — unless *no* target VMs remain at all, in which
+        case the action is aborted (and the ``_action_aborted`` hook lets the
+        multi-tenant controller return its reservation to the arbiter).
+        """
+        if not action.provisioned_vm_ids and not action.kept_vm_ids:
+            self._abort_action(action)
+            return
+        vms = self.provider.provision(vm_type, 1, name_prefix=vm_type.name.lower())
+        for vm in vms:
+            self.runtime.cluster.add_vm(vm)
+            action.provisioned_vm_ids.append(vm.vm_id)
+        self._delta_replaced(action, vms)
+
+    def _delta_replaced(self, action: ScalingAction, vms: List[VirtualMachine]) -> None:
+        """Hook: replacement VMs provisioned for a pending action's dead delta."""
+
+    def _abort_action(self, action: ScalingAction) -> None:
+        action.aborted = True
+        action.completed_at = self.runtime.sim.now
+        self._migration_in_flight = False
+        self._action_aborted(action)
+
+    def _action_aborted(self, action: ScalingAction) -> None:
+        """Hook: a pending action was abandoned (all its target VMs died)."""
+
+    def _vm_eligible(self, vm: VirtualMachine) -> bool:
+        """Whether recovery/evacuation may place onto this VM (tenant filter hook)."""
+        return True
+
+    def _free_worker_slots(self, exclude_vm_ids: Sequence[str] = ()) -> int:
+        runtime = self.runtime
+        excluded = set(exclude_vm_ids)
+        return sum(
+            sum(1 for slot in vm.slots if not slot.occupied)
+            for vm in runtime.cluster.vms
+            if vm.vm_id != runtime.util_vm_id
+            and vm.vm_id not in excluded
+            and self._vm_eligible(vm)
+        )
+
+    def _rebuild_plan(self, exclude_vm_ids: Sequence[str] = ()) -> PlacementPlan:
+        """Incremental repair placement: survivors keep their slots.
+
+        Targets every eligible worker VM except the excluded (doomed) ones;
+        only executors stranded without a live slot move.  Sources and sinks
+        stay pinned where they are.
+        """
+        runtime = self.runtime
+        excluded = set(exclude_vm_ids)
+        targets = [
+            vm.vm_id
+            for vm in runtime.cluster.vms
+            if vm.vm_id != runtime.util_vm_id
+            and vm.vm_id not in excluded
+            and self._vm_eligible(vm)
+        ]
+        preplaced = PlacementPlan()
+        for executor in list(runtime.source_executors) + list(runtime.sink_executors):
+            slot_id = runtime.placement.assignments[executor.executor_id]
+            preplaced.assign(executor.executor_id, slot_id, runtime.placement.slot_to_vm[slot_id])
+        user_ids = [e.executor_id for e in runtime.user_executors]
+        return incremental_plan(user_ids, runtime.cluster, runtime.placement, targets, preplaced=preplaced)
+
+    def _plan_recovery(self, record: RecoveryRecord, vm_type: VMType) -> None:
+        deficit = len(record.lost_executors) - self._free_worker_slots()
+        if deficit <= 0:
+            self._enact_recovery(record)
+            return
+        # No notice window to shop the market in: unplanned recovery pays
+        # on-demand for reliability.  Provisioning draws straggler/failure
+        # tails; recovery waits for the last replacement.
+        count = math.ceil(deficit / vm_type.slots)
+        tickets = self.provider.provision_with_latency(
+            vm_type, count, name_prefix="rescue", market=ON_DEMAND
+        )
+        record.pending_replacements = len(tickets)
+        for ticket in tickets:
+            record.provisioning_failures += ticket.failures
+            self.runtime.sim.schedule(ticket.delay_s, self._replacement_ready, record, ticket.vm)
+
+    def _replacement_ready(self, record: RecoveryRecord, vm: VirtualMachine) -> None:
+        self.runtime.cluster.add_vm(vm)
+        record.replacement_vm_ids.append(vm.vm_id)
+        self._replacement_provisioned(record, vm)
+        record.pending_replacements -= 1
+        if record.pending_replacements == 0:
+            self._enact_recovery(record)
+
+    def _replacement_provisioned(self, record: RecoveryRecord, vm: VirtualMachine) -> None:
+        """Hook: a replacement VM joined the cluster (tenant tags + arbiter sync)."""
+
+    def _enact_recovery(self, record: RecoveryRecord) -> None:
+        runtime = self.runtime
+        lost = [eid for eid in record.lost_executors if eid in runtime.executors]
+        if not lost:
+            record.restored_at = runtime.sim.now
+            return
+        plan = self._rebuild_plan()
+        record.rebalanced_at = runtime.sim.now
+        runtime.rebalance(plan, on_command_complete=lambda _rec: self._restore_lost(record))
+
+    def _restore_lost(self, record: RecoveryRecord) -> None:
+        runtime = self.runtime
+        lost = [eid for eid in record.lost_executors if eid in runtime.executors]
+        runtime.restore_executors(lost, on_complete=lambda: self._recovery_complete(record))
+
+    def _recovery_complete(self, record: RecoveryRecord) -> None:
+        record.restored_at = self.runtime.sim.now
+
+    # ------------------------------------------------------- evacuation internals
+    def _try_evacuate(self, record: EvacuationRecord) -> None:
+        runtime = self.runtime
+        now = runtime.sim.now
+        if record.vm_id not in runtime.cluster or record.completed_at is not None:
+            return
+        if now >= record.deadline:
+            return  # too late: the kill will take the unplanned path
+        if self._migration_in_flight:
+            retry = min(5.0, max(0.5, record.deadline - now))
+            runtime.sim.schedule(retry, self._try_evacuate, record)
+            return
+        vm = runtime.cluster.vm(record.vm_id)
+        hosted = [
+            slot.executor_id for slot in vm.occupied_slots if slot.executor_id in runtime.executors
+        ]
+        if not hosted:
+            # Nothing of ours on the doomed VM: release it now, stop the bill.
+            record.started_at = now
+            record.completed_at = now
+            if not vm.occupied_slots:
+                self.provider.release_from(runtime.cluster, record.vm_id)
+            record.evaded = record.vm_id not in runtime.cluster
+            return
+        record.started_at = now
+        self._migration_in_flight = True
+        deficit = len(hosted) - self._free_worker_slots(exclude_vm_ids=(record.vm_id,))
+        if deficit > 0:
+            self._provision_evacuation_capacity(record, vm.vm_type, deficit)
+        else:
+            self._start_evacuation(record)
+
+    def _provision_evacuation_capacity(
+        self, record: EvacuationRecord, vm_type: VMType, deficit_slots: int
+    ) -> None:
+        market = ON_DEMAND
+        if self.provider.spot_market is not None:
+            plan = cost_optimal_fleet(
+                deficit_slots,
+                horizon_s=self.config.evacuation_horizon_s,
+                billing_granularity_s=self.provider.billing_granularity_s,
+                spot=self.provider.spot_market,
+                flavours=(vm_type,),
+            )
+            market = plan.choices[0].market
+        record.replacement_market = market
+        count = math.ceil(deficit_slots / vm_type.slots)
+        tickets = self.provider.provision_with_latency(
+            vm_type, count, name_prefix="evac", market=market
+        )
+        record.pending_replacements = len(tickets)
+        for ticket in tickets:
+            self.runtime.sim.schedule(ticket.delay_s, self._evacuation_vm_ready, record, ticket.vm)
+
+    def _evacuation_vm_ready(self, record: EvacuationRecord, vm: VirtualMachine) -> None:
+        self.runtime.cluster.add_vm(vm)
+        record.replacement_vm_ids.append(vm.vm_id)
+        self._evacuation_capacity_ready(record, vm)
+        record.pending_replacements -= 1
+        if record.pending_replacements > 0:
+            return
+        if record.completed_at is not None or record.vm_id not in self.runtime.cluster:
+            return  # deadline overran the provisioning; recovery owns the fleet
+        self._start_evacuation(record)
+
+    def _evacuation_capacity_ready(self, record: EvacuationRecord, vm: VirtualMachine) -> None:
+        """Hook: an evacuation replacement VM joined the cluster."""
+
+    def _start_evacuation(self, record: EvacuationRecord) -> None:
+        runtime = self.runtime
+        record.migration_issued = True
+        plan = self._rebuild_plan(exclude_vm_ids=(record.vm_id,))
+        strategy = self.strategy_cls(runtime)
+        self._evacuation_starting(record)
+        record.report = strategy.migrate(
+            plan, on_complete=lambda report: self._evacuation_complete(record, report)
+        )
+
+    def _evacuation_starting(self, record: EvacuationRecord) -> None:
+        """Hook: evacuation migration issued (tenant registers the doomed VM as retiring)."""
+
+    def _evacuation_complete(self, record: EvacuationRecord, report: MigrationReport) -> None:
+        runtime = self.runtime
+        record.report = report
+        record.completed_at = runtime.sim.now
+        self._migration_in_flight = False
+        vm_id = record.vm_id
+        if vm_id in runtime.cluster and not runtime.cluster.vm(vm_id).occupied_slots:
+            # Drained before the deadline: billing stops here and the
+            # eviction finds nothing to reclaim.
+            self.provider.release_from(runtime.cluster, vm_id)
+        # An overrun VM vanished because the cloud killed it, not because we
+        # got out in time.
+        record.evaded = not record.overrun and vm_id not in runtime.cluster
+        self._evacuation_finished(record)
+
+    def _evacuation_finished(self, record: EvacuationRecord) -> None:
+        """Hook: evacuation protocol done (tenant clears its retiring registration)."""

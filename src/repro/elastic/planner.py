@@ -28,11 +28,13 @@ then a task's own ``capacity_ev_s``, then the global Table-1 default.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Mapping, Optional, Sequence, Set
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.cluster.cloud import ON_DEMAND, SPOT, SpotMarket
 from repro.cluster.placement import PlacementPlan
 from repro.cluster.vm import D1, D2, D3, VMType
 from repro.dataflow.graph import Dataflow, RescalePlan, exact_instance_ceiling
@@ -228,6 +230,183 @@ class AllocationPlanner:
             vm_counts=vm_counts,
             rescale=rescale,
         )
+
+    def cost_plan(
+        self,
+        observed_rate_ev_s: float,
+        horizon_s: float,
+        billing_granularity_s: float = 60.0,
+        spot: Optional[SpotMarket] = None,
+        **kwargs,
+    ) -> "CostPlan":
+        """Cost-optimal fleet for the observed rate over a billing horizon.
+
+        Sizes the slot demand with the 1-per-capacity rule, then searches
+        the full flavour × market space (see :func:`cost_optimal_fleet`) —
+        the cost-aware alternative to the single-flavour tier packing of
+        :meth:`plan`.
+        """
+        required = self.required_instances(observed_rate_ev_s)
+        return cost_optimal_fleet(
+            required, horizon_s, billing_granularity_s, spot, **kwargs
+        )
+
+
+# --------------------------------------------------------------------- cost
+@dataclass(frozen=True)
+class FleetOption:
+    """One homogeneous group of a cost plan: ``count`` VMs of a flavour/market."""
+
+    flavour: str
+    market: str
+    count: int
+
+
+@dataclass(frozen=True)
+class CostPlan:
+    """The cheapest fleet found for a slot demand over a billing horizon."""
+
+    slots_needed: int
+    horizon_s: float
+    choices: Tuple[FleetOption, ...]
+    #: Expected cost over the horizon including spot eviction-risk penalties.
+    expected_cost: float
+    #: Pure billing cost (no risk penalty).
+    nominal_cost: float
+    #: Billing cost of the cheapest all-on-demand fleet (the savings baseline).
+    on_demand_cost: float
+
+    @property
+    def total_slots(self) -> int:
+        """Slots the chosen fleet actually hosts (may minimally overshoot)."""
+        return sum(VM_FLAVOURS[c.flavour].slots * c.count for c in self.choices)
+
+    @property
+    def total_vms(self) -> int:
+        """Number of VMs across all groups."""
+        return sum(c.count for c in self.choices)
+
+    @property
+    def spot_fraction(self) -> float:
+        """Fraction of the fleet's slots bought on the spot market."""
+        total = self.total_slots
+        if total == 0:
+            return 0.0
+        spot = sum(
+            VM_FLAVOURS[c.flavour].slots * c.count for c in self.choices if c.market == SPOT
+        )
+        return spot / total
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``3xD3/spot + 1xD1/on-demand ($0.0420)``."""
+        groups = " + ".join(f"{c.count}x{c.flavour}/{c.market}" for c in self.choices)
+        return f"{groups} (${self.expected_cost:.4f} expected over {self.horizon_s:.0f}s)"
+
+
+#: Flavour name -> VMType for the cost search (paper's Table-1 D-series).
+VM_FLAVOURS: Dict[str, VMType] = {"D1": D1, "D2": D2, "D3": D3}
+
+
+def cost_optimal_fleet(
+    slots_needed: int,
+    horizon_s: float,
+    billing_granularity_s: float = 60.0,
+    spot: Optional[SpotMarket] = None,
+    flavours: Sequence[VMType] = (D3, D2, D1),
+    recovery_cost_fixed: float = 0.01,
+    recovery_cost_per_slot: float = 0.02,
+) -> CostPlan:
+    """Search the full flavour × market space for the cheapest fleet.
+
+    Enumerates every D1/D2/D3 mix hosting at least ``slots_needed`` slots
+    (with less than one largest-VM's worth of slack — anything more is
+    dominated) and, when a :class:`~repro.cluster.cloud.SpotMarket` is given,
+    every per-flavour-group on-demand/spot assignment.  Each candidate is
+    costed over ``horizon_s`` with the provider's billing-granularity
+    round-up (``ceil(horizon / granularity)`` billed units per VM — the
+    per-minute billing the paper leans on), plus, for spot groups, an
+    expected eviction-recovery penalty:
+    ``P(evicted within horizon) × (fixed + per_slot × slots)`` per VM —
+    bigger spot VMs concentrate risk, which is what pushes mixed fleets.
+
+    Deterministic: ties break toward fewer VMs, then fewer spot VMs, then
+    flavour order.  The D-series' exactly-linear per-slot pricing means all
+    exact packings tie on nominal cost; the round-up waste of slack slots
+    and the risk penalty are what differentiate candidates.
+    """
+    if slots_needed <= 0:
+        raise ValueError(f"slots_needed must be positive, got {slots_needed}")
+    if horizon_s <= 0:
+        raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+    billed_s = math.ceil(horizon_s / billing_granularity_s) * billing_granularity_s
+    flavour_list = list(flavours)
+    max_slots = max(f.slots for f in flavour_list)
+    markets = [ON_DEMAND, SPOT] if spot is not None else [ON_DEMAND]
+    p_evict = spot.eviction_probability(horizon_s) if spot is not None else 0.0
+
+    def group_cost(vm_type: VMType, market: str, count: int) -> Tuple[float, float]:
+        if market == SPOT:
+            hourly = spot.spot_hourly_cost(vm_type)
+            penalty = p_evict * (recovery_cost_fixed + recovery_cost_per_slot * vm_type.slots)
+        else:
+            hourly = vm_type.hourly_cost
+            penalty = 0.0
+        nominal = hourly * billed_s / 3600.0 * count
+        return nominal, nominal + penalty * count
+
+    # Count vectors: fill greedily-boundable ranges per flavour; the last
+    # flavour tops up exactly.  Candidates with >= max_slots of slack are
+    # dominated (drop one VM and still cover the demand).
+    def count_vectors() -> List[Tuple[int, ...]]:
+        vectors = []
+        ranges = [range(0, slots_needed // f.slots + 2) for f in flavour_list[:-1]]
+        last = flavour_list[-1]
+        for head in itertools.product(*ranges):
+            covered = sum(f.slots * c for f, c in zip(flavour_list, head))
+            remaining = max(0, slots_needed - covered)
+            last_count = math.ceil(remaining / last.slots)
+            total = covered + last_count * last.slots
+            if total - slots_needed >= max_slots:
+                continue
+            vectors.append(tuple(head) + (last_count,))
+        return vectors
+
+    best = None
+    best_on_demand = None
+    for counts in count_vectors():
+        used = [(f, c) for f, c in zip(flavour_list, counts) if c > 0]
+        if not used:
+            continue
+        for market_mix in itertools.product(markets, repeat=len(used)):
+            nominal = 0.0
+            expected = 0.0
+            choices = []
+            for (vm_type, count), market in zip(used, market_mix):
+                n, e = group_cost(vm_type, market, count)
+                nominal += n
+                expected += e
+                choices.append(FleetOption(flavour=vm_type.name, market=market, count=count))
+            spot_vms = sum(c.count for c in choices if c.market == SPOT)
+            key = (
+                expected,
+                sum(c.count for c in choices),
+                spot_vms,
+                tuple((c.flavour, c.market) for c in choices),
+            )
+            candidate = (key, tuple(choices), expected, nominal)
+            if best is None or key < best[0]:
+                best = candidate
+            if spot_vms == 0 and (best_on_demand is None or key < best_on_demand[0]):
+                best_on_demand = candidate
+    assert best is not None and best_on_demand is not None
+    return CostPlan(
+        slots_needed=slots_needed,
+        horizon_s=horizon_s,
+        choices=best[1],
+        expected_cost=best[2],
+        nominal_cost=best[3],
+        on_demand_cost=best_on_demand[3],
+    )
 
 
 def plan_user_tasks_on(runtime: TopologyRuntime, target_vm_ids: Sequence[str]) -> PlacementPlan:

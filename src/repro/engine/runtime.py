@@ -84,6 +84,20 @@ class RescaleRecord:
         return sorted(self.changes)
 
 
+@dataclass
+class VMFailureRecord:
+    """Bookkeeping for one VM lost to a crash or spot eviction."""
+
+    vm_id: str
+    failed_at: float
+    #: Executor ids that were hosted on the VM when it died.
+    lost: List[str]
+    #: Data events dropped with the executors (their queued/pending backlog).
+    events_lost: int
+    #: Tuple trees failed fast through the acker (acking runs only).
+    trees_failed: int
+
+
 class TopologyRuntime:
     """Deploys and runs one dataflow on a cluster under the simulated clock."""
 
@@ -145,6 +159,13 @@ class TopologyRuntime:
         # held here by the (reconnecting) transport and delivered once the
         # executor is ready, mirroring Storm's buffering messaging clients.
         self._deferred_deliveries: Dict[str, List[Tuple[Event, str]]] = {}
+        # Restricted target sets for recovery INIT waves: checkpoint_id ->
+        # executor ids.  A broadcast wave for a listed checkpoint is emitted
+        # only to these executors, so restoring the victims of a dead VM does
+        # not roll survivors back to the last checkpoint.
+        self._wave_targets: Dict[int, Set[str]] = {}
+        #: Records of VM failures handled by :meth:`fail_vm`.
+        self.vm_failures: List[VMFailureRecord] = []
 
     # ------------------------------------------------------------ properties
     @property
@@ -371,7 +392,10 @@ class TopologyRuntime:
             "forward": mode is WaveMode.SEQUENTIAL,
             "capture": action is CheckpointAction.PREPARE and self.reliability.capture_on_prepare,
         }
-        if mode is WaveMode.SEQUENTIAL:
+        restricted = self._wave_targets.get(checkpoint_id)
+        if restricted is not None:
+            targets = sorted(restricted)
+        elif mode is WaveMode.SEQUENTIAL:
             targets = [
                 executor_id
                 for task in self.dataflow.entry_tasks
@@ -544,7 +568,10 @@ class TopologyRuntime:
             executor = self.executors.get(executor_id)
             if executor is None:
                 continue
-            if executor.status is not ExecutorStatus.STARTING:
+            # STARTING executors were never live; KILLED ones already died
+            # (e.g. with a failed VM) — killing again would double-count
+            # losses in the log.
+            if executor.status not in (ExecutorStatus.STARTING, ExecutorStatus.KILLED):
                 executor.kill()
             old_slot_id = self.placement.assignments.get(executor_id)
             if old_slot_id is not None:
@@ -613,6 +640,115 @@ class TopologyRuntime:
         executor.become_ready()
         for event, sender_id in self._deferred_deliveries.pop(executor_id, []):
             executor.deliver(event, sender_id)
+
+    # -------------------------------------------------------------- vm failure
+    def fail_vm(self, vm_id: str) -> VMFailureRecord:
+        """Tear down a VM the cloud reclaimed: kill its executors, fail their trees.
+
+        Models *unplanned* loss (crash or spot eviction) as opposed to the
+        planned kills of a rebalance: every executor of this dataflow hosted
+        on the VM is killed in place — queued and in-memory events are gone —
+        its slot is released, and the VM is removed from the cluster (unless
+        another dataflow still occupies it on a shared fleet).  Under data
+        acking, the tuple trees of the dropped events are failed *fast*
+        through the acker, so sources replay them without waiting out the ack
+        timeout; trees whose events were on the wire when the VM died still
+        recover via the timeout.  In-flight checkpoint waves stop expecting
+        the dead executors, so a concurrent migration cannot wedge on them.
+
+        The victims stay in ``self.executors`` with status KILLED and keep
+        their (now slotless) placement entries; recovery re-places them via
+        :meth:`rebalance` and restores their keyed state via
+        :meth:`restore_executors`.
+        """
+        if not self.deployed or self.placement is None:
+            raise RuntimeError_("cannot fail a VM before deploy()")
+        vm = self.cluster.vm(vm_id)
+        lost = sorted(
+            slot.executor_id
+            for slot in vm.occupied_slots
+            if slot.executor_id in self.executors
+        )
+        record = VMFailureRecord(
+            vm_id=vm_id, failed_at=self.sim.now, lost=lost, events_lost=0, trees_failed=0
+        )
+        roots: Set[int] = set()
+        for executor_id in lost:
+            executor = self.executors[executor_id]
+            if self.ack_data_events:
+                for event, _sender in list(executor.input_queue) + list(executor.pre_init_buffer):
+                    if event.is_data and event.anchored:
+                        roots.add(event.root_id)
+                for event in executor.pending_events:
+                    if event.anchored:
+                        roots.add(event.root_id)
+            # The transport's buffered deliveries die with the connection.
+            for event, _sender in self._deferred_deliveries.pop(executor_id, []):
+                if self.ack_data_events and event.is_data and event.anchored:
+                    roots.add(event.root_id)
+            if executor.status is not ExecutorStatus.KILLED:
+                queued, pending = executor.kill()
+                record.events_lost += queued + pending
+            self.log.record_lifecycle(executor_id, "vm-lost")
+            slot_id = self.placement.assignments.get(executor_id)
+            if slot_id is not None:
+                try:
+                    self.cluster.find_slot(slot_id).release()
+                except KeyError:
+                    pass
+        self.checkpoints.discard_executors(set(lost))
+        if not vm.occupied_slots:
+            self.cluster.remove_vm(vm_id)
+        self._invalidate_executor_cache()
+        self.router.invalidate_caches()
+        # Fail-fast last: replays routed to the dead executors are deferred by
+        # the transport and re-delivered once recovery re-places them.
+        for root_id in sorted(roots):
+            if self.acker.is_pending(root_id):
+                self.acker.fail(root_id)
+                record.trees_failed += 1
+        self.vm_failures.append(record)
+        return record
+
+    def restore_executors(
+        self,
+        executor_ids: List[str],
+        on_complete: Optional[Callable[[], None]] = None,
+        resend_interval_s: float = 1.0,
+    ) -> int:
+        """Restore re-placed executors' keyed state with a targeted INIT wave.
+
+        The wave uses a *fresh* checkpoint id: executors ignore duplicates of
+        ids they already acted on (the coordinator's resend semantics), so
+        re-initializing a recovered executor must never reuse the id of the
+        wave that initialized it before the crash.  The INIT is emitted only
+        to the given executors — survivors keep their in-memory state; the
+        targets load their last stored snapshot from the state store.  The
+        wave resends until every target (even one still restarting) has
+        acted.  Returns the wave's checkpoint id.
+        """
+        targets = {eid for eid in executor_ids if eid in self.executors}
+        if not targets:
+            if on_complete is not None:
+                on_complete()
+            return 0
+        checkpoint_id = self.checkpoints.new_checkpoint_id()
+        self._wave_targets[checkpoint_id] = set(targets)
+
+        def _done(_wave) -> None:
+            self._wave_targets.pop(checkpoint_id, None)
+            if on_complete is not None:
+                on_complete()
+
+        self.checkpoints.start_wave(
+            CheckpointAction.INIT,
+            checkpoint_id=checkpoint_id,
+            mode=WaveMode.BROADCAST,
+            on_complete=_done,
+            resend_interval_s=resend_interval_s,
+            expected=set(targets),
+        )
+        return checkpoint_id
 
     # -------------------------------------------------------------- inspection
     @property

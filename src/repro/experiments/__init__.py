@@ -30,6 +30,10 @@ cost.
 :mod:`repro.experiments.sharded` partitions a keyed workload across a process
 pool (one hermetic simulation per key partition) and merges the per-shard
 logs into one bit-stable :class:`~repro.metrics.log.EventLog`.
+
+:mod:`repro.experiments.chaos` rides a deterministic spot-eviction storm once
+per recovery mode (notice-aware drain vs oblivious unplanned recovery) and
+compares restore latency, replayed messages and the cloud bill.
 """
 
 from repro.experiments.scenarios import (
@@ -67,10 +71,20 @@ from repro.experiments.sharded import (
     run_sharded_experiment,
     run_steady_shard,
 )
+from repro.experiments.chaos import (
+    ChaosComparisonResult,
+    ChaosRunResult,
+    ChaosRunSummary,
+    run_chaos_experiment,
+    run_chaos_run,
+)
 from repro.experiments.figures import ExperimentMatrix
 from repro.experiments.formatting import format_table
 
 __all__ = [
+    "ChaosComparisonResult",
+    "ChaosRunResult",
+    "ChaosRunSummary",
     "ElasticRunResult",
     "ElasticScenarioSpec",
     "ExperimentMatrix",
@@ -88,6 +102,8 @@ __all__ = [
     "plan_shards",
     "format_table",
     "plan_after_scaling",
+    "run_chaos_experiment",
+    "run_chaos_run",
     "run_elastic_experiment",
     "run_migration_experiment",
     "run_multi_experiment",

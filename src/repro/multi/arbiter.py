@@ -129,6 +129,12 @@ class ScaleArbiter:
         self.waiting: Dict[str, WaitingEntry] = {}
         self.in_flight: Dict[str, InFlightMigration] = {}
         self.log: List[ProposalRecord] = []
+        #: Audit entries for grants returned unspent (see :meth:`notify_aborted`).
+        self.aborts: List[ProposalRecord] = []
+        #: VMs under an eviction notice (a tenant is draining them); placed
+        #: like retiring VMs: nobody schedules onto a machine the cloud is
+        #: about to reclaim.
+        self.doomed_vms: Set[str] = set()
         #: High-water mark of committed slots (physical + reserved), for the
         #: budget invariant checks in tests and reports.
         self.max_committed_slots = 0
@@ -284,6 +290,41 @@ class ScaleArbiter:
         """A tenant's migration finished: clear its reservation and retiring set."""
         self.in_flight.pop(tenant_id, None)
         self._note_committed()
+
+    def notify_aborted(self, tenant_id: str, now: float = 0.0) -> int:
+        """Return an in-flight grant to the budget unspent.
+
+        Called when a granted scaling action is abandoned -- e.g. every delta
+        VM died during provisioning, so the migration will never start.
+        Without this the tenant's :class:`InFlightMigration` entry would hold
+        its reservation, its retiring set and (with serialized migrations) the
+        single migration token forever, starving every other tenant.  Returns
+        the number of reserved slots handed back.
+        """
+        migration = self.in_flight.pop(tenant_id, None)
+        if migration is None:
+            return 0
+        returned = migration.reserved_slots
+        self.aborts.append(
+            ProposalRecord(
+                time=now,
+                tenant_id=tenant_id,
+                direction="abort",
+                slots_requested=returned,
+                granted=False,
+                reason="aborted",
+            )
+        )
+        self._note_committed()
+        return returned
+
+    def mark_doomed(self, vm_ids: Iterable[str]) -> None:
+        """Publish VMs under an eviction notice (no tenant should place here)."""
+        self.doomed_vms |= set(vm_ids)
+
+    def clear_doomed(self, vm_ids: Iterable[str]) -> None:
+        """Drop eviction-notice markers once the VMs are drained or reclaimed."""
+        self.doomed_vms -= set(vm_ids)
 
     # ---------------------------------------------------------------- queries
     def grants(self) -> List[ProposalRecord]:

@@ -25,9 +25,15 @@ from dataclasses import dataclass
 from typing import List, Optional, Type
 
 from repro.cluster.cloud import CloudProvider
-from repro.cluster.vm import VM_TYPES
+from repro.cluster.vm import VM_TYPES, VirtualMachine
 from repro.core.strategy import MigrationStrategy
-from repro.elastic.controller import ControllerConfig, ElasticityController, ScalingAction
+from repro.elastic.controller import (
+    ControllerConfig,
+    ElasticityController,
+    EvacuationRecord,
+    RecoveryRecord,
+    ScalingAction,
+)
 from repro.elastic.forecast import ForecastPolicy
 from repro.elastic.monitor import ElasticityMonitor
 from repro.elastic.planner import AllocationPlanner, TargetAllocation
@@ -116,3 +122,34 @@ class TenantController(ElasticityController):
     def _release_capacity(self, action: ScalingAction, old_vm_ids: List[str]) -> None:
         super()._release_capacity(action, old_vm_ids)
         self.arbiter.notify_complete(self.tenant_id)
+
+    # ------------------------------------------------------- faults & chaos
+    def _action_aborted(self, action: ScalingAction) -> None:
+        # Every delta VM of a granted action died during provisioning: the
+        # grant must go back to the budget or its migration token would
+        # starve every other tenant forever.
+        self.arbiter.notify_aborted(self.tenant_id, now=self.runtime.sim.now)
+
+    def _delta_replaced(self, action: ScalingAction, vms: List[VirtualMachine]) -> None:
+        for vm in vms:
+            vm.tags["tenant"] = self.tenant_id
+        self.arbiter.notify_provisioned(self.tenant_id, [vm.vm_id for vm in vms])
+
+    def _replacement_provisioned(self, record: RecoveryRecord, vm: VirtualMachine) -> None:
+        vm.tags["tenant"] = self.tenant_id
+
+    def _evacuation_capacity_ready(self, record: EvacuationRecord, vm: VirtualMachine) -> None:
+        vm.tags["tenant"] = self.tenant_id
+
+    def _vm_eligible(self, vm: VirtualMachine) -> bool:
+        # Never rebuild onto another tenant's VM, one an in-flight migration
+        # is about to vacate, or one the cloud is about to reclaim.
+        if vm.vm_id in self.arbiter.retiring_vms or vm.vm_id in self.arbiter.doomed_vms:
+            return False
+        return vm.tags.get("tenant") in (None, self.tenant_id)
+
+    def _evacuation_starting(self, record: EvacuationRecord) -> None:
+        self.arbiter.mark_doomed({record.vm_id})
+
+    def _evacuation_finished(self, record: EvacuationRecord) -> None:
+        self.arbiter.clear_doomed({record.vm_id})

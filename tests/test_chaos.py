@@ -1,0 +1,318 @@
+"""Chaos-engineering robustness: spot evictions, unplanned VM loss, recovery.
+
+Covers the chaos-capable cloud layer end to end:
+
+* the occupied-VM removal guard (``Cluster.remove_vm`` fails loudly);
+* arbiter accounting when a granted tenant's delta VMs die (the reservation
+  and migration token go back to the budget instead of leaking);
+* acceptance (a): a zero-notice VM kill recovers via checkpoint restore with
+  no lost ``by_key`` state and bounded replays, including a kill landing
+  mid-evacuation-migration;
+* acceptance (b): under a spot eviction storm the notice-aware controller
+  beats the oblivious baseline on restore latency AND total cost;
+* determinism: same-seed chaos runs produce byte-identical event-log digests
+  and identical controller action sequences for all three strategies;
+* the batch stepper disengages around injected faults: a chaos run with
+  batch stepping on (non-vectorized tier) matches the classic keyed kernel
+  log exactly.
+"""
+
+import copy
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.chaos import KILL, ChaosSchedule, FaultEvent, FaultInjector
+from repro.cluster.cloud import (
+    ON_DEMAND,
+    SPOT,
+    CloudProvider,
+    Cluster,
+    ProvisioningModel,
+    SpotMarket,
+)
+from repro.cluster.vm import D2, D3
+from repro.core.strategy import strategy_by_name
+from repro.dataflow import topologies
+from repro.dataflow.event import reset_event_ids
+from repro.elastic import AllocationPlanner, ControllerConfig, ElasticityController, ElasticityMonitor
+from repro.engine.config import RuntimeConfig
+from repro.engine.executor import ExecutorStatus
+from repro.engine.runtime import TopologyRuntime
+from repro.experiments.chaos import run_chaos_experiment, run_chaos_run
+from repro.multi.arbiter import ScaleArbiter
+from repro.reliability.repartition import PARTITIONED_STATE_KEY
+from repro.reliability.statestore import checkpoint_key
+from repro.sim import RandomSource, Simulator
+
+
+# --------------------------------------------------------------- satellite 1
+class TestRemoveVmGuard:
+    def test_remove_occupied_vm_fails_loudly(self):
+        cluster = Cluster()
+        sim = Simulator()
+        provider = CloudProvider(sim)
+        vm = provider.provision(D2, 1, name_prefix="d2")[0]
+        cluster.add_vm(vm)
+        vm.slots[0].assign("demand_predict#0")
+        with pytest.raises(ValueError, match="demand_predict#0"):
+            cluster.remove_vm(vm.vm_id)
+        # Still in the cluster: the guard must not half-remove it.
+        assert vm.vm_id in cluster
+        vm.slots[0].release()
+        cluster.remove_vm(vm.vm_id)
+        assert vm.vm_id not in cluster
+
+
+# --------------------------------------------------------------- satellite 2
+def _shared_fleet(slots: int = 4) -> Cluster:
+    cluster = Cluster()
+    sim = Simulator()
+    provider = CloudProvider(sim)
+    for vm in provider.provision(D2, slots // 2, name_prefix="d2"):
+        cluster.add_vm(vm)
+    return cluster
+
+
+class TestArbiterAbortAccounting:
+    def test_aborted_grant_returns_reservation_and_token(self):
+        arbiter = ScaleArbiter(_shared_fleet(4), budget_slots=8)
+        arbiter.register_tenant("t1")
+        arbiter.register_tenant("t2")
+        assert arbiter.propose("t1", "out", 4, now=10.0).granted
+        arbiter.notify_migration_started("t1", ["d2-001"])
+        # t1 holds the single migration token and 4 reserved slots: t2 is out.
+        assert not arbiter.propose("t2", "out", 2, now=11.0).granted
+        assert arbiter.reserved_slots() == 4
+        assert "d2-001" in arbiter.retiring_vms
+
+        returned = arbiter.notify_aborted("t1", now=12.0)
+        assert returned == 4
+        assert arbiter.reserved_slots() == 0
+        assert arbiter.in_flight == {}
+        assert arbiter.retiring_vms == set()
+        assert [r.tenant_id for r in arbiter.aborts] == ["t1"]
+        # The budget and the migration token are back: t2 gets through now.
+        assert arbiter.propose("t2", "out", 2, now=13.0).granted
+
+    def test_abort_without_grant_is_a_noop(self):
+        arbiter = ScaleArbiter(_shared_fleet(4), budget_slots=8)
+        arbiter.register_tenant("t1")
+        assert arbiter.notify_aborted("t1", now=5.0) == 0
+        assert arbiter.aborts == []
+
+    def test_doomed_vms_published_and_cleared(self):
+        arbiter = ScaleArbiter(_shared_fleet(4), budget_slots=8)
+        arbiter.mark_doomed({"d2-001"})
+        assert "d2-001" in arbiter.doomed_vms
+        arbiter.clear_doomed({"d2-001"})
+        assert arbiter.doomed_vms == set()
+
+
+# ------------------------------------------------------------- acceptance (a)
+def _assemble_chaos_stack(dag: str, seed: int = 7):
+    """The chaos runner's stack, hand-assembled so tests can hook the kill."""
+    reset_event_ids()
+    sim = Simulator()
+    dataflow = topologies.by_name(dag)
+    config = RuntimeConfig.for_dsm(seed=seed)
+    provider = CloudProvider(
+        sim,
+        spot_market=SpotMarket(discount=0.35, notice_s=120.0),
+        provisioning=ProvisioningModel(base_latency_s=30.0, jitter_fraction=0.2),
+        rng=RandomSource(seed),
+    )
+    cluster = Cluster()
+    util_vm = provider.provision(D3, 1, name_prefix="util", market=ON_DEMAND)[0]
+    util_vm.tags["role"] = "util"
+    cluster.add_vm(util_vm)
+    worker_count = int(math.ceil(dataflow.total_instances() / D2.slots))
+    for vm in provider.provision(D2, worker_count, name_prefix="d2", market=SPOT):
+        cluster.add_vm(vm)
+    runtime = TopologyRuntime(dataflow, cluster, sim=sim, config=config)
+    runtime.deploy()
+    runtime.start()
+    controller = ElasticityController(
+        runtime,
+        provider,
+        ElasticityMonitor(runtime, interval_s=15.0),
+        AllocationPlanner(dataflow),
+        strategy_by_name("dsm"),
+        config=ControllerConfig(),
+    )
+    return sim, dataflow, cluster, provider, runtime, controller
+
+
+class TestZeroNoticeKillRecovery:
+    def test_kill_restores_keyed_state_from_checkpoint(self):
+        sim, dataflow, cluster, provider, runtime, controller = _assemble_chaos_stack("grid-keyed")
+
+        # Pin the kill to a VM hosting grouped keyed state.
+        victim_exec = "demand_predict#0"
+        slot_id = runtime.placement.assignments[victim_exec]
+        victim_vm = runtime.placement.slot_to_vm[slot_id]
+
+        captured = {}
+
+        def on_kill(vm_id, kind):
+            # Snapshot what the last committed checkpoint holds for the
+            # executors about to die -- recovery must bring at least this back.
+            for slot in cluster.vm(vm_id).occupied_slots:
+                snap = runtime.statestore.peek(
+                    checkpoint_key(dataflow.name, slot.executor_id)
+                )
+                if snap and snap.get("state"):
+                    captured[slot.executor_id] = copy.deepcopy(snap["state"])
+            controller.handle_vm_failure(vm_id, kind)
+
+        injector = FaultInjector(sim, cluster, provider, seed=7, on_kill=on_kill)
+        injector.arm(ChaosSchedule([FaultEvent(at_s=200.0, kind=KILL, vm_id=victim_vm)]))
+
+        sim.run(until=420.0)
+        runtime.stop_sources()
+
+        assert [r.outcome for r in injector.records] == ["killed"]
+        assert len(controller.recoveries) == 1
+        recovery = controller.recoveries[0]
+        assert victim_exec in recovery.lost_executors
+        assert recovery.restored_at is not None
+        assert recovery.recovery_latency_s < 120.0
+
+        # The victim's grouped per-key counts survived: the re-placed executor
+        # restored the checkpoint and kept counting from there, so every
+        # checkpointed count is a floor for the live one.
+        assert victim_exec in captured
+        checkpointed = captured[victim_exec].get(PARTITIONED_STATE_KEY, {})
+        assert checkpointed, "the pre-kill checkpoint should hold keyed counts"
+        live = runtime.executors[victim_exec].state.get(PARTITIONED_STATE_KEY, {})
+        for key, count in checkpointed.items():
+            assert live.get(key, 0) >= count, f"by_key state lost for {key}"
+
+        # Every executor is back up and the trees anchored on the dead VM were
+        # replayed -- boundedly (not a full-stream replay storm).
+        assert all(
+            executor.status is ExecutorStatus.RUNNING
+            for executor in runtime.executors.values()
+        )
+        emits = runtime.log.source_emits
+        replays = sum(1 for emit in emits if emit.replay_count > 0)
+        assert 0 < replays < 0.5 * len(emits)
+
+    def test_kill_mid_evacuation_migration_is_recovered(self):
+        # A 50s notice cannot cover ~30s provisioning plus a DSM migration:
+        # the deadline fires while the evacuation migration is in flight and
+        # the kill must degrade into the unplanned path without wedging.
+        result = run_chaos_run(
+            dag="grid-keyed",
+            strategy="dsm",
+            mode="notice",
+            duration_s=420.0,
+            storm_count=1,
+            storm_start_s=120.0,
+            notice_s=50.0,
+        )
+        killed = result.injector.killed
+        assert len(killed) == 1
+        evacuation = result.evacuations[0]
+        assert evacuation.overrun
+        assert evacuation.migration_issued
+        assert evacuation.completed_at is not None
+        assert not evacuation.evaded
+        assert len(result.recoveries) == 1
+        assert result.recoveries[0].restored_at is not None
+        # The dataflow came back: every executor runs and the sinks kept
+        # receiving after the reclaim.
+        assert all(
+            executor.status is ExecutorStatus.RUNNING
+            for executor in result.runtime.executors.values()
+        )
+        kill_time = killed[0].killed_at
+        assert any(receipt.time > kill_time + 60.0 for receipt in result.log.sink_receipts)
+
+
+# ------------------------------------------------------------- acceptance (b)
+@pytest.fixture(scope="module")
+def storm_comparison():
+    return run_chaos_experiment(
+        dag="grid-keyed", strategy="dsm", duration_s=450.0, storm_count=2
+    )
+
+
+class TestNoticeBeatsOblivious:
+    def test_notice_mode_wins_on_restore_latency(self, storm_comparison):
+        notice = storm_comparison.notice
+        oblivious = storm_comparison.oblivious
+        assert oblivious.killed == storm_comparison.storm_count
+        assert notice.evaded > 0
+        assert notice.mean_restore_s < oblivious.mean_restore_s
+
+    def test_notice_mode_wins_on_cost(self, storm_comparison):
+        assert storm_comparison.notice.total_cost < storm_comparison.oblivious.total_cost
+
+    def test_headline_json_roundtrip(self, storm_comparison, tmp_path):
+        path = storm_comparison.write_headline_json(tmp_path / "BENCH_chaos.json")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro-bench-chaos/1"
+        for mode in ("notice", "oblivious"):
+            for metric in ("restore_s", "replays", "cost_usd"):
+                assert f"chaos_{mode}_{metric}" in payload["benchmarks"]
+
+    def test_committed_headline_artifact_shape(self):
+        committed = Path(__file__).resolve().parent.parent / "results" / "BENCH_chaos.json"
+        assert committed.exists(), "results/BENCH_chaos.json must ride the repo"
+        payload = json.loads(committed.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro-bench-chaos/1"
+        assert all("mean_s" in stats for stats in payload["benchmarks"].values())
+
+
+# --------------------------------------------------------------- satellite 3
+class TestChaosDeterminism:
+    @pytest.mark.parametrize("strategy", ["dsm", "dcr", "ccr"])
+    @pytest.mark.parametrize("mode", ["notice", "oblivious"])
+    def test_same_seed_runs_are_byte_identical(self, strategy, mode):
+        runs = [
+            run_chaos_run(
+                dag="grid-keyed",
+                strategy=strategy,
+                mode=mode,
+                duration_s=360.0,
+                storm_count=2,
+                storm_start_s=100.0,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].injector.records, "the storm must actually fire"
+        assert runs[0].digest() == runs[1].digest()
+        assert runs[0].control_sequence() == runs[1].control_sequence()
+        assert runs[0].control_sequence(), "the controller must actually react"
+
+
+# --------------------------------------------------------------- satellite 6
+class TestBatchStepperUnderChaos:
+    def test_batch_stepping_disengages_around_faults(self):
+        # Batched (non-vectorized tier) and classic keyed kernels must log the
+        # same run bit-for-bit: the injected faults are cancellable timers the
+        # cascade horizon sees, so the stepper falls back around each fault.
+        batched = RuntimeConfig.for_ccr()
+        batched.keyed_network_jitter = True
+        batched.batch_stepping = True
+        batched.batch_vectorize = False
+        classic = RuntimeConfig.for_ccr()
+        classic.keyed_network_jitter = True
+        results = [
+            run_chaos_run(
+                dag="grid-keyed",
+                strategy="ccr",
+                mode="notice",
+                duration_s=360.0,
+                storm_count=2,
+                storm_start_s=100.0,
+                config=config,
+            )
+            for config in (batched, classic)
+        ]
+        assert results[0].injector.records, "the storm must actually fire"
+        assert results[0].digest() == results[1].digest()
+        assert results[0].control_sequence() == results[1].control_sequence()
