@@ -15,7 +15,7 @@ import json
 import os
 import platform
 from pathlib import Path
-from typing import Dict
+from typing import Dict, Optional
 
 import pytest
 
@@ -34,22 +34,31 @@ BENCH_ENGINE_PATH = RESULTS_DIR / "BENCH_engine.json"
 _ENGINE_BENCH_RESULTS: Dict[str, Dict[str, float]] = {}
 
 
-def record_engine_bench(name: str, benchmark) -> None:
+def record_engine_bench(name: str, benchmark, events: Optional[int] = None) -> None:
     """Register one engine benchmark's timing stats for ``BENCH_engine.json``.
 
     Called by every test in ``test_engine_performance.py`` after the
     ``benchmark`` fixture has run; reads the mean/stddev pytest-benchmark
     computed so the JSON mirrors the human-readable table exactly.
+
+    ``events`` is the number of simulated/processed events one round of the
+    benchmark works through; when given, the entry carries an
+    ``events_per_second`` throughput figure (``events / mean_s``) so absolute
+    engine throughput is tracked alongside the relative speedups.
     """
     stats = getattr(benchmark, "stats", None)
     inner = getattr(stats, "stats", None) or stats
     if inner is None:  # --benchmark-disable: nothing to record
         return
-    _ENGINE_BENCH_RESULTS[name] = {
+    entry = {
         "mean_s": float(inner.mean),
         "stddev_s": float(inner.stddev),
         "rounds": int(getattr(inner, "rounds", 0) or len(getattr(inner, "data", []) or [])),
     }
+    if events is not None and inner.mean:
+        entry["events"] = int(events)
+        entry["events_per_second"] = round(events / float(inner.mean), 1)
+    _ENGINE_BENCH_RESULTS[name] = entry
 
 
 def _load_perf_baseline() -> Dict[str, Dict[str, float]]:
@@ -75,10 +84,15 @@ def write_bench_engine_json() -> Path:
             entry["baseline_mean_s"] = base["mean_s"]
             entry["speedup_vs_seed"] = round(base["mean_s"] / stats["mean_s"], 3)
         benchmarks[name] = entry
+    try:  # whether the columnar numpy log backend was live during this run —
+        from repro.metrics.log import HAVE_COLUMNAR  # the gate's throughput
+    except Exception:  # floors only apply when it was
+        HAVE_COLUMNAR = False
     payload = {
         "schema": "repro-bench-engine/1",
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "columnar": bool(HAVE_COLUMNAR),
         "benchmarks": benchmarks,
     }
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
@@ -131,11 +145,16 @@ def matrix() -> ExperimentMatrix:
     # session reads every cell anyway, so prefetching all 30 is never wasted
     # work there).  REPRO_BENCH_JOBS overrides: 0 = one worker per core,
     # 1 = serial in-process computation, N>1 = exactly N workers.
-    jobs_env = os.environ.get("REPRO_BENCH_JOBS")
-    if jobs_env is not None:
-        jobs = int(jobs_env)
-        if jobs != 1:
-            shared.prefetch(processes=jobs if jobs > 0 else None)
+    raw = os.environ.get("REPRO_BENCH_JOBS")
+    try:
+        jobs: Optional[int] = int(raw) if raw is not None else None
+    except ValueError:
+        jobs = None  # invalid value = auto, mirroring REPRO_SIM_SHARDS
+    if jobs is not None:
+        if jobs > 1:
+            shared.prefetch(processes=jobs)
+        elif jobs != 1:  # 0 or negative: explicit auto, one worker per core
+            shared.prefetch(processes=None)
     elif (os.cpu_count() or 1) > 1:
         shared.prefetch(processes=None)
     return shared

@@ -51,6 +51,7 @@ from repro.experiments import (
     run_multi_experiment,
     run_predictive_experiment,
     run_rescale_experiment,
+    run_sharded_elastic_experiment,
     run_sharded_experiment,
 )
 from repro.experiments.chaos import DEFAULT_MODES
@@ -366,17 +367,31 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("repro shard: error: --shards must be >= 1", file=sys.stderr)
         return 2
-    result = run_sharded_experiment(
-        dag=args.dag,
-        shards=args.shards,
-        workers=args.workers,
-        duration_s=args.duration,
-        seed=args.seed,
-        strategy=args.strategy,
-        batch_stepping=not args.classic,
-    )
-    print(f"Sharded run: {args.dag} / {args.strategy} / {args.shards} shards "
-          f"x {args.duration:.0f}s on {result.workers} worker(s)")
+    if args.elastic:
+        result = run_sharded_elastic_experiment(
+            dag=args.dag,
+            shards=args.shards,
+            workers=args.workers,
+            duration_s=args.duration,
+            seed=args.seed,
+            strategy=args.strategy,
+            profile=args.profile,
+            batch_stepping=not args.classic,
+        )
+        print(f"Sharded elastic run: {args.dag} / {args.strategy} / {args.profile} / "
+              f"{args.shards} shards x {args.duration:.0f}s on {result.workers} worker(s)")
+    else:
+        result = run_sharded_experiment(
+            dag=args.dag,
+            shards=args.shards,
+            workers=args.workers,
+            duration_s=args.duration,
+            seed=args.seed,
+            strategy=args.strategy,
+            batch_stepping=not args.classic,
+        )
+        print(f"Sharded run: {args.dag} / {args.strategy} / {args.shards} shards "
+              f"x {args.duration:.0f}s on {result.workers} worker(s)")
     print()
     rows = [
         {
@@ -390,6 +405,24 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     print(format_table(rows, title="Per-shard summaries"))
     print()
     print(format_table([result.log.summary()], title="Merged log (worker-count invariant)"))
+    if args.elastic:
+        print()
+        if result.actions:
+            action_rows = [
+                {
+                    "decided_at": f"{action.decided_at:.1f}",
+                    "direction": action.direction,
+                    "tier": f"{action.from_tier} -> {action.to_tier}",
+                    "observed_ev_s": f"{action.observed_rate:.2f}",
+                    "vms": ", ".join(f"{name} x{count}" for name, count in action.vm_counts),
+                }
+                for action in result.actions
+            ]
+            print(format_table(
+                action_rows, title="Planned scaling actions (centralized controller tick)"
+            ))
+        else:
+            print("Planned scaling actions: none (offered rate stayed in band)")
     print(f"\nmerged log digest: {result.digest}")
     return 0
 
@@ -625,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated duration of each shard (seconds)")
     shard.add_argument("--classic", action="store_true",
                        help="disable the batch-stepping cascade inside each shard")
+    shard.add_argument("--elastic", action="store_true",
+                       help="profile-driven run with per-shard monitors and a "
+                            "centralized controller tick over the merged samples "
+                            "(planned scaling actions, worker-count invariant)")
+    shard.add_argument("--profile", default="surge",
+                       help="rate-profile preset for --elastic runs (default: surge)")
     shard.add_argument("--seed", type=int, default=2018)
     shard.set_defaults(func=_cmd_shard)
 

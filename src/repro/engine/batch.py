@@ -54,7 +54,7 @@ from repro.dataflow.event import (
 from repro.dataflow.grouping import Grouping, field_key_of, stable_field_index
 from repro.dataflow.task import TaskKind
 from repro.engine.executor import Executor, ExecutorStatus, SinkExecutor, SourceExecutor
-from repro.metrics.log import SinkReceipt, SourceEmit
+
 from repro.sim.rng import keyed_value_block
 
 try:  # numpy powers the vectorized sweep; the cascade degrades without it
@@ -444,14 +444,10 @@ class BatchStepper:
         source._sequence = seqno + n_roots
         rid0 = reserve_event_ids(n_roots)
         root_ids: List[int] = list(range(rid0, rid0 + n_roots))
-        # Bulk-inlined record_source_emit(replay_count=0, at_time=tick):
-        # fresh root ids are never already in the first-emit map.
-        log.source_emits.extend(
-            SourceEmit(tick, rid, source_name, 0, False)
-            for tick, rid in zip(tick_times, root_ids)
-        )
-        log.emit_times.extend(tick_times)
-        log._root_first_emit.update(zip(root_ids, tick_times))
+        # Bulk append (record_source_emit with replay_count=0, at_time=tick):
+        # fresh root ids are never already in the first-emit map.  On the
+        # columnar backend this is a pure array copy — no per-event record.
+        log.extend_emits(tick_times, root_ids, source_name)
         source.emitted_count += n_roots
         inline_count = n_roots
         #: Per-root original emission time.  For the roots emitted by this
@@ -778,25 +774,24 @@ class BatchStepper:
         # ---- Phase C: receipts merged into the log in global time order.
         if sink_recs:
             log = runtime.log
-            receipts = log.sink_receipts
-            receipt_times = log.receipt_times
-            roots_seen = log._roots_received
-            # tolist() converts to native floats/ints in one C pass -- exact,
-            # and much cheaper than per-element indexing -- and the receipt
-            # ids come from one bulk reservation instead of a counter call
-            # per receipt.
+            # Per-root fields are gathered with one numpy fancy-index and the
+            # receipt ids come from one bulk reservation plus ``np.arange``.
+            # ``extend_receipts`` is backend-polymorphic: the classic log
+            # materializes the exact records the per-event path would have
+            # built (tolist() yields native floats/ints), the columnar log
+            # appends the arrays directly — zero per-event objects.
+            rid_arr = np.asarray(root_ids, dtype=np.int64)
+            emitted_arr = np.asarray(root_emitted, dtype=np.float64)
             if len(sink_recs) == 1:
                 times, roots, sink = sink_recs[0]
-                sink_name = sink.task.name
-                times_l = times.tolist()
-                roots_l = roots.tolist()
-                eid0 = reserve_event_ids(len(times_l))
-                receipts.extend(
-                    SinkReceipt(when, root_ids[r], eid, sink_name, root_emitted[r], 0)
-                    for eid, (when, r) in enumerate(zip(times_l, roots_l), eid0)
+                eid0 = reserve_event_ids(len(times))
+                log.extend_receipts(
+                    times,
+                    rid_arr[roots],
+                    np.arange(eid0, eid0 + len(times), dtype=np.int64),
+                    sink.task.name,
+                    emitted_arr[roots],
                 )
-                receipt_times.extend(times_l)
-                roots_seen.update(map(root_ids.__getitem__, roots_l))
             else:
                 all_times = np.concatenate([rec[0] for rec in sink_recs])
                 all_roots = np.concatenate([rec[1] for rec in sink_recs])
@@ -805,18 +800,16 @@ class BatchStepper:
                 )
                 names = [rec[2].task.name for rec in sink_recs]
                 order = np.argsort(all_times, kind="stable")
-                times_l = all_times[order].tolist()
-                roots_l = all_roots[order].tolist()
-                which_l = which[order].tolist()
-                eid0 = reserve_event_ids(len(times_l))
-                receipts.extend(
-                    SinkReceipt(when, root_ids[r], eid, names[w], root_emitted[r], 0)
-                    for eid, (when, r, w) in enumerate(
-                        zip(times_l, roots_l, which_l), eid0
-                    )
+                roots_sorted = all_roots[order]
+                eid0 = reserve_event_ids(len(all_times))
+                log.extend_receipts(
+                    all_times[order],
+                    rid_arr[roots_sorted],
+                    np.arange(eid0, eid0 + len(all_times), dtype=np.int64),
+                    names,
+                    emitted_arr[roots_sorted],
+                    sink_indices=which[order],
                 )
-                receipt_times.extend(times_l)
-                roots_seen.update(map(root_ids.__getitem__, roots_l))
 
         # ---- Re-arm the source exactly as _arm_emit_timer would.
         if idle_from is not None:

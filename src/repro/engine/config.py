@@ -138,6 +138,14 @@ class RuntimeConfig:
     #: forces the per-event cascade, whose logs match the classic keyed
     #: kernel exactly (including event ids).
     batch_vectorize: bool = True
+    #: Store the run's event log in the columnar (numpy struct-of-arrays)
+    #: backend instead of lists of record objects.  Queries are
+    #: bit-compatible (lazy row views materialize records on access) and the
+    #: vectorized cascade appends whole arrays without building any per-event
+    #: object.  Off by default: the committed ``results/`` figures were
+    #: recorded against the classic row store.  Ignored (falls back to the
+    #: classic log) when numpy is unavailable.
+    columnar_log: bool = False
 
     def copy(self) -> "RuntimeConfig":
         """Return an independent copy of this configuration."""
@@ -150,6 +158,7 @@ class RuntimeConfig:
             keyed_network_jitter=self.keyed_network_jitter,
             batch_stepping=self.batch_stepping,
             batch_vectorize=self.batch_vectorize,
+            columnar_log=self.columnar_log,
         )
 
     @classmethod

@@ -66,8 +66,12 @@ from repro.experiments.predictive import (
     run_predictive_experiment,
 )
 from repro.experiments.sharded import (
+    PlannedAction,
+    ShardedElasticRunResult,
     ShardedRunResult,
+    plan_control_actions,
     plan_shards,
+    run_sharded_elastic_experiment,
     run_sharded_experiment,
     run_steady_shard,
 )
@@ -91,14 +95,17 @@ __all__ = [
     "ManagedRunResult",
     "MigrationRunResult",
     "MultiExperimentResult",
+    "PlannedAction",
     "PredictiveComparisonResult",
     "PredictiveRunSummary",
     "RescaleComparisonResult",
     "RescaleRunSummary",
     "ScenarioSpec",
+    "ShardedElasticRunResult",
     "ShardedRunResult",
     "TenantSummary",
     "build_experiment",
+    "plan_control_actions",
     "plan_shards",
     "format_table",
     "plan_after_scaling",
@@ -109,6 +116,7 @@ __all__ = [
     "run_multi_experiment",
     "run_predictive_experiment",
     "run_rescale_experiment",
+    "run_sharded_elastic_experiment",
     "run_sharded_experiment",
     "run_steady_shard",
     "vm_counts_for",

@@ -21,8 +21,8 @@ shard-determinism tests assert byte-for-byte via
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cloud import CloudProvider, Cluster, NetworkModel
 from repro.cluster.vm import D2, D3
@@ -30,18 +30,23 @@ from repro.core.strategy import strategy_by_name
 from repro.dataflow import topologies
 from repro.dataflow.event import reset_event_ids
 from repro.dataflow.task import SourceTask
+from repro.elastic.controller import ControllerConfig
+from repro.elastic.monitor import ElasticityMonitor, MonitorSample
+from repro.elastic.planner import TIER_ORDER, AllocationPlanner
 from repro.engine.runtime import TopologyRuntime
 from repro.experiments.scenarios import vm_counts_for
-from repro.metrics.log import EventLog
+from repro.metrics.log import ColumnarEventLog, EventLog
 from repro.sim import RandomSource, Simulator
 from repro.sim.shard import (
     ShardResult,
     ShardSpec,
     log_digest,
+    merge_monitor_samples,
     merge_shard_results,
     run_shards,
     shard_worker_count,
 )
+from repro.workloads.profiles import profile_by_name
 
 
 def plan_shards(
@@ -51,6 +56,8 @@ def plan_shards(
     seed: int = 2018,
     strategy: str = "dcr",
     batch_stepping: bool = True,
+    profile: Optional[str] = None,
+    sample_interval_s: float = 0.0,
 ) -> List[ShardSpec]:
     """The shard specs of one partitioned run (one spec per key partition)."""
     return [
@@ -62,6 +69,8 @@ def plan_shards(
             duration_s=duration_s,
             seed=seed,
             batch_stepping=batch_stepping,
+            profile=profile,
+            sample_interval_s=sample_interval_s,
         )
         for index in range(shards)
     ]
@@ -95,6 +104,9 @@ def run_steady_shard(spec: ShardSpec) -> ShardResult:
     # use it in classic mode too — batched and classic shards then differ
     # only in event-id assignment order.
     config.keyed_network_jitter = True
+    # Shard logs are columnar so the result ships plain field arrays and the
+    # merge never touches a per-record object (classic fallback sans numpy).
+    config.columnar_log = True
 
     dataflow = topologies.by_name(spec.dag)
     for task in dataflow.sources:
@@ -103,6 +115,12 @@ def run_steady_shard(spec: ShardSpec) -> ShardResult:
             task.payload_factory = _partitioned_factory(
                 task.payload_factory, spec.index, spec.shards
             )
+            if spec.profile is not None:
+                # Each shard's sources follow the preset at 1/shards of the
+                # amplitude, so the merged offered rate follows the preset.
+                task.profile = profile_by_name(
+                    spec.profile, base_rate=float(task.rate), duration_s=spec.duration_s
+                )
 
     sim = Simulator()
     provider = CloudProvider(sim)
@@ -119,13 +137,26 @@ def run_steady_shard(spec: ShardSpec) -> ShardResult:
     runtime = TopologyRuntime(dataflow, cluster, sim=sim, config=config)
     runtime.deploy()
     runtime.start()
+    monitor: Optional[ElasticityMonitor] = None
+    if spec.sample_interval_s > 0:
+        monitor = ElasticityMonitor(runtime, interval_s=spec.sample_interval_s)
+        monitor.start()
     sim.run(until=spec.duration_s)
     log = runtime.log
+    if isinstance(log, ColumnarEventLog):
+        return ShardResult(
+            index=spec.index,
+            summary=log.summary(),
+            emit_columns=log.emit_columns(),
+            receipt_columns=log.receipt_columns(),
+            samples=list(monitor.samples) if monitor is not None else [],
+        )
     return ShardResult(
         index=spec.index,
         emits=list(log.source_emits),
         receipts=list(log.sink_receipts),
         summary=log.summary(),
+        samples=list(monitor.samples) if monitor is not None else [],
     )
 
 
@@ -176,4 +207,168 @@ def run_sharded_experiment(
         results=results,
         log=merge_shard_results(results),
         workers=workers,
+    )
+
+
+# --------------------------------------------------------------------------
+# Sharded elastic runs: partitioned simulation, centralized controller tick
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlannedAction:
+    """One scaling decision of the centralized shadow controller.
+
+    Plan-only: the sharded run records what the controller *would* enact at
+    each confirmed decision point, without feeding the migration back into
+    the (already running) shards.
+    """
+
+    #: Simulated time of the decision (after hysteresis confirmed it).
+    decided_at: float
+    #: ``out`` (adding capacity) or ``in`` (consolidating).
+    direction: str
+    from_tier: str
+    to_tier: str
+    #: Merged offered rate (ev/s) that confirmed the decision.
+    observed_rate: float
+    #: VM fleet the planner sized for the target tier.
+    vm_counts: Tuple[Tuple[str, int], ...]
+
+
+def plan_control_actions(
+    samples: List[MonitorSample],
+    dataflow,
+    config: Optional[ControllerConfig] = None,
+    initial_tier: str = "baseline",
+    planner: Optional[AllocationPlanner] = None,
+) -> List[PlannedAction]:
+    """Replay the elasticity controller's decision rule over merged samples.
+
+    This is the centralized tick of a sharded elastic run: each shard runs
+    its own monitor, the merge aggregates the per-shard samples
+    (:func:`~repro.sim.shard.merge_monitor_samples`), and this function
+    applies the same reactive decision logic as
+    :meth:`~repro.elastic.controller.ElasticityController._tick` — planner
+    sizing against the *unsharded* dataflow, ``confirm_samples`` hysteresis,
+    cooldown, and the drain-aware scale-in guard.  Differences from the
+    closed-loop controller are inherent to planning offline: the cooldown
+    runs from the decision time (there is no enactment to wait for) and
+    actions do not change the running shards.  The output is a pure function
+    of the samples, hence worker-count invariant.
+    """
+    if planner is None:
+        planner = AllocationPlanner(dataflow)
+    if config is None:
+        config = ControllerConfig()
+    tier = initial_tier
+    pending_tier: Optional[str] = None
+    pending_count = 0
+    cooldown_until = float("-inf")
+    actions: List[PlannedAction] = []
+    for sample in samples:
+        if sample.sources_paused:
+            continue
+        target = planner.plan(sample.offered_rate, current_tier=tier)
+        if target.tier == tier and target.rescale is None:
+            pending_tier = None
+            pending_count = 0
+            continue
+        if target.tier != pending_tier:
+            pending_tier = target.tier
+            pending_count = 1
+        else:
+            pending_count += 1
+        if pending_count < config.confirm_samples:
+            continue
+        if sample.time < cooldown_until:
+            continue
+        direction = "out" if TIER_ORDER[target.tier] > TIER_ORDER[tier] else "in"
+        if direction == "in" and config.drain_guard_backlog_s:
+            backlog = sample.queue_backlog + sample.source_backlog
+            if backlog > config.drain_guard_backlog_s * max(sample.offered_rate, 1.0):
+                continue
+        actions.append(PlannedAction(
+            decided_at=sample.time,
+            direction=direction,
+            from_tier=tier,
+            to_tier=target.tier,
+            observed_rate=sample.offered_rate,
+            vm_counts=tuple(sorted(target.vm_counts.items())),
+        ))
+        tier = target.tier
+        pending_tier = None
+        pending_count = 0
+        cooldown_until = sample.time + config.cooldown_s
+    return actions
+
+
+@dataclass
+class ShardedElasticRunResult:
+    """A sharded elastic run: merged log + timeline + planned scaling actions."""
+
+    specs: List[ShardSpec]
+    results: List[ShardResult]
+    log: EventLog
+    workers: int
+    samples: List[MonitorSample] = field(default_factory=list)
+    actions: List[PlannedAction] = field(default_factory=list)
+
+    @property
+    def digest(self) -> str:
+        """Content hash of the merged log (worker-count invariant)."""
+        return log_digest(self.log)
+
+    @property
+    def action_sequence(self) -> List[Tuple]:
+        """The controller decisions as comparable tuples (for identity checks)."""
+        return [
+            (a.decided_at, a.direction, a.from_tier, a.to_tier, a.observed_rate, a.vm_counts)
+            for a in self.actions
+        ]
+
+
+def run_sharded_elastic_experiment(
+    dag: str = "grid",
+    shards: int = 4,
+    workers: Optional[int] = None,
+    duration_s: float = 300.0,
+    seed: int = 2018,
+    strategy: str = "dcr",
+    profile: str = "surge",
+    batch_stepping: bool = True,
+    controller_config: Optional[ControllerConfig] = None,
+) -> ShardedElasticRunResult:
+    """Run a profile-driven elastic experiment partitioned across a pool.
+
+    First rung of sharded elasticity: the keyed partitions are simulated in
+    parallel (each source follows ``profile`` at ``1/shards`` amplitude,
+    each shard samples a private monitor on the controller's check
+    interval), then the *centralized* controller tick consumes the merged
+    samples and replays the reactive decision rule against the unsharded
+    dataflow (:func:`plan_control_actions`).  Both the merged log and the
+    planned action sequence are byte-identical for 1 vs N workers.
+    """
+    config = controller_config if controller_config is not None else ControllerConfig()
+    specs = plan_shards(
+        dag=dag,
+        shards=shards,
+        duration_s=duration_s,
+        seed=seed,
+        strategy=strategy,
+        batch_stepping=batch_stepping,
+        profile=profile,
+        sample_interval_s=config.check_interval_s,
+    )
+    if workers is None:
+        workers = shard_worker_count(shards)
+    results = run_shards(specs, run_steady_shard, workers=workers)
+    samples = merge_monitor_samples([result.samples for result in results])
+    actions = plan_control_actions(samples, topologies.by_name(dag), config=config)
+    return ShardedElasticRunResult(
+        specs=specs,
+        results=results,
+        log=merge_shard_results(results),
+        workers=workers,
+        samples=samples,
+        actions=actions,
     )

@@ -17,15 +17,50 @@ recovery-metric scans) binary-searches those arrays with :mod:`bisect` instead
 of scanning the whole list — monitors and metrics issue these queries every
 sample, which made the naive linear scans quadratic over a long run.
 ``distinct_roots_received`` is maintained incrementally for the same reason.
+
+Columnar backend
+----------------
+:class:`ColumnarEventLog` stores the two hot streams (emits, receipts) as
+numpy struct-of-arrays instead of lists of dataclass rows: one growable
+float64/int64 column per field, with task names interned into a shared string
+table.  The query API stays bit-compatible — ``source_emits``,
+``sink_receipts``, ``emit_times`` and ``receipt_times`` become lazy row views
+that only materialize :class:`SourceEmit`/:class:`SinkReceipt` objects (or
+Python floats) when a record is actually touched, so every bisect-indexed
+query above works unchanged.  The payoff is the write path: the batch
+stepper's vectorized cascade hands whole arrays to
+:meth:`EventLog.extend_emits`/:meth:`EventLog.extend_receipts` and the
+columnar backend appends them with numpy copies, no per-event Python object.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+try:  # numpy is baked into the image; guard anyway so the engine degrades.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: Whether the columnar backend is usable in this interpreter.
+HAVE_COLUMNAR = _np is not None
 
 from repro.sim import Simulator
+
+
+def _as_list(values: Any) -> List:
+    """Sequence → plain list of *Python* scalars (ndarray-safe).
+
+    ``ndarray.tolist`` converts numpy scalars to builtins, which matters for
+    bit-compatibility: records and digests must hold ``float``/``int``, never
+    ``np.float64`` (whose ``repr`` differs).
+    """
+    tolist = getattr(values, "tolist", None)
+    if tolist is not None:
+        return tolist()
+    return list(values)
 
 
 @dataclass(frozen=True, slots=True)
@@ -165,6 +200,71 @@ class EventLog:
         self.receipt_times.append(now)
         self._roots_received.add(root_id)
 
+    # ----------------------------------------------------------- bulk appends
+    def extend_emits(
+        self,
+        times: Sequence[float],
+        root_ids: Sequence[int],
+        source: str,
+        replay_count: int = 0,
+        from_backlog: bool = False,
+    ) -> None:
+        """Bulk-append one source's fresh emission cohort.
+
+        ``times`` must be non-decreasing and start at or after the last
+        recorded emit time; ``root_ids`` must be first emissions (the batch
+        stepper reserves fresh ids per cohort).  Accepts any sequence,
+        including numpy arrays — values are normalized to Python scalars so
+        materialized records are indistinguishable from per-event recording.
+        """
+        times_l = _as_list(times)
+        roots_l = _as_list(root_ids)
+        self.source_emits.extend(
+            SourceEmit(time=t, root_id=rid, source=source,
+                       replay_count=replay_count, from_backlog=from_backlog)
+            for t, rid in zip(times_l, roots_l)
+        )
+        self.emit_times.extend(times_l)
+        if replay_count > 0:
+            self.replay_emits += len(times_l)
+        self._root_first_emit.update(zip(roots_l, times_l))
+
+    def extend_receipts(
+        self,
+        times: Sequence[float],
+        root_ids: Sequence[int],
+        event_ids: Sequence[int],
+        sinks: Any,
+        root_emitted_ats: Sequence[float],
+        replay_count: int = 0,
+        sink_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Bulk-append sink receipts already sorted by time.
+
+        ``sinks`` is a single sink name applied to every record, or — when
+        ``sink_indices`` is given — a list of names indexed per record.
+        """
+        times_l = _as_list(times)
+        roots_l = _as_list(root_ids)
+        eids_l = _as_list(event_ids)
+        emitted_l = _as_list(root_emitted_ats)
+        if sink_indices is None:
+            records = [
+                SinkReceipt(time=t, root_id=rid, event_id=eid, sink=sinks,
+                            root_emitted_at=emitted, replay_count=replay_count)
+                for t, rid, eid, emitted in zip(times_l, roots_l, eids_l, emitted_l)
+            ]
+        else:
+            which_l = _as_list(sink_indices)
+            records = [
+                SinkReceipt(time=t, root_id=rid, event_id=eid, sink=sinks[w],
+                            root_emitted_at=emitted, replay_count=replay_count)
+                for t, rid, eid, emitted, w in zip(times_l, roots_l, eids_l, emitted_l, which_l)
+            ]
+        self.sink_receipts.extend(records)
+        self.receipt_times.extend(times_l)
+        self._roots_received.update(roots_l)
+
     def record_drop(self, executor_id: str, kind: str, reason: str, root_id: Optional[int] = None) -> None:
         """Record that an event could not be delivered to an executor."""
         self.drops.append(
@@ -291,3 +391,412 @@ class EventLog:
             "kills": len(self.kills),
             "events_lost_in_kills": self.lost_in_kills(),
         }
+
+
+# --------------------------------------------------------------------------
+# Columnar backend
+# --------------------------------------------------------------------------
+
+class _Column:
+    """One growable numpy column (amortized-doubling append buffer)."""
+
+    __slots__ = ("data", "n")
+
+    def __init__(self, dtype, capacity: int = 256) -> None:
+        self.data = _np.empty(capacity, dtype=dtype)
+        self.n = 0
+
+    def view(self):
+        """The live prefix of the buffer (zero-copy)."""
+        return self.data[: self.n]
+
+    def _grow(self, need: int) -> None:
+        capacity = len(self.data)
+        while capacity < need:
+            capacity *= 2
+        grown = _np.empty(capacity, dtype=self.data.dtype)
+        grown[: self.n] = self.data[: self.n]
+        self.data = grown
+
+    def append(self, value) -> None:
+        if self.n == len(self.data):
+            self._grow(self.n + 1)
+        self.data[self.n] = value
+        self.n += 1
+
+    def extend(self, values) -> None:
+        arr = _np.asarray(values, dtype=self.data.dtype)
+        need = self.n + arr.size
+        if need > len(self.data):
+            self._grow(need)
+        self.data[self.n:need] = arr
+        self.n = need
+
+    def extend_fill(self, value, count: int) -> None:
+        need = self.n + count
+        if need > len(self.data):
+            self._grow(need)
+        self.data[self.n:need] = value
+        self.n = need
+
+
+class _TimesView(Sequence):
+    """List-compatible lazy view over a float column.
+
+    Supports everything the classic ``List[float]`` indexes are used for:
+    ``bisect`` (``len`` + integer ``__getitem__``), slicing (returns a plain
+    list of Python floats), iteration, and ``==`` against lists and other
+    views (several tests and metrics compare whole time arrays).
+    """
+
+    __slots__ = ("_column",)
+
+    def __init__(self, column: _Column) -> None:
+        self._column = column
+
+    def __len__(self) -> int:
+        return self._column.n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._column.view()[index].tolist()
+        n = self._column.n
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("time index out of range")
+        return float(self._column.data[index])
+
+    def __iter__(self):
+        return iter(self._column.view().tolist())
+
+    def __eq__(self, other):
+        if isinstance(other, _TimesView):
+            other = other.tolist()
+        if isinstance(other, (list, tuple)):
+            return self._column.view().tolist() == list(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable view, like the list it replaces
+
+    def __repr__(self) -> str:
+        return repr(self._column.view().tolist())
+
+    def tolist(self) -> List[float]:
+        return self._column.view().tolist()
+
+
+class _RowsView(Sequence):
+    """Base for lazy record views: materializes dataclass rows on access."""
+
+    __slots__ = ("_log",)
+
+    def __init__(self, log: "ColumnarEventLog") -> None:
+        self._log = log
+
+    def _materialize(self, start: int, stop: int) -> List:
+        raise NotImplementedError
+
+    def _make(self, index: int):
+        raise NotImplementedError
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step == 1:
+                return self._materialize(start, stop)
+            return [self._make(i) for i in range(start, stop, step)]
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("record index out of range")
+        return self._make(index)
+
+    def __iter__(self):
+        return iter(self._materialize(0, len(self)))
+
+    def __eq__(self, other):
+        if isinstance(other, _RowsView):
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            return self._materialize(0, len(self)) == list(other)
+        return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} of {len(self)} records>"
+
+
+class _EmitRowsView(_RowsView):
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        return self._log._emit_time.n
+
+    def _make(self, index: int) -> SourceEmit:
+        log = self._log
+        return SourceEmit(
+            time=float(log._emit_time.data[index]),
+            root_id=int(log._emit_root.data[index]),
+            source=log._names[log._emit_source.data[index]],
+            replay_count=int(log._emit_replay.data[index]),
+            from_backlog=bool(log._emit_backlog.data[index]),
+        )
+
+    def _materialize(self, start: int, stop: int) -> List[SourceEmit]:
+        log = self._log
+        names = log._names
+        return [
+            SourceEmit(time=t, root_id=rid, source=names[code],
+                       replay_count=replay, from_backlog=bool(backlog))
+            for t, rid, code, replay, backlog in zip(
+                log._emit_time.data[start:stop].tolist(),
+                log._emit_root.data[start:stop].tolist(),
+                log._emit_source.data[start:stop].tolist(),
+                log._emit_replay.data[start:stop].tolist(),
+                log._emit_backlog.data[start:stop].tolist(),
+            )
+        ]
+
+
+class _ReceiptRowsView(_RowsView):
+    __slots__ = ()
+
+    def __len__(self) -> int:
+        return self._log._receipt_time.n
+
+    def _make(self, index: int) -> SinkReceipt:
+        log = self._log
+        return SinkReceipt(
+            time=float(log._receipt_time.data[index]),
+            root_id=int(log._receipt_root.data[index]),
+            event_id=int(log._receipt_event.data[index]),
+            sink=log._names[log._receipt_sink.data[index]],
+            root_emitted_at=float(log._receipt_emitted.data[index]),
+            replay_count=int(log._receipt_replay.data[index]),
+        )
+
+    def _materialize(self, start: int, stop: int) -> List[SinkReceipt]:
+        log = self._log
+        names = log._names
+        return [
+            SinkReceipt(time=t, root_id=rid, event_id=eid, sink=names[code],
+                        root_emitted_at=emitted, replay_count=replay)
+            for t, rid, eid, code, emitted, replay in zip(
+                log._receipt_time.data[start:stop].tolist(),
+                log._receipt_root.data[start:stop].tolist(),
+                log._receipt_event.data[start:stop].tolist(),
+                log._receipt_sink.data[start:stop].tolist(),
+                log._receipt_emitted.data[start:stop].tolist(),
+                log._receipt_replay.data[start:stop].tolist(),
+            )
+        ]
+
+
+class ColumnarEventLog(EventLog):
+    """Struct-of-arrays event log, bit-compatible with :class:`EventLog`.
+
+    Emits and receipts live in growable numpy columns; ``source_emits``,
+    ``sink_receipts`` and the time indexes are lazy views that materialize
+    rows only on access.  The root-first-emit map and distinct-roots set are
+    built lazily from the columns the first time a query needs them (and then
+    advanced incrementally), so the bulk write path never touches a Python
+    dict per event.  Cold streams (drops, deferred, kills, lifecycle) keep
+    the plain record lists — they are rare and carry string payloads.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        if _np is None:  # pragma: no cover - exercised only without numpy
+            raise RuntimeError("ColumnarEventLog requires numpy")
+        self.sim = sim
+        self.drops: List[DropRecord] = []
+        self.deferred: List[DeferredRecord] = []
+        self.kills: List[KillRecord] = []
+        self.lifecycle: List[LifecycleRecord] = []
+        self.replay_emits: int = 0
+        # Interned task-name table shared by the source and sink columns.
+        self._names: List[str] = []
+        self._name_codes: Dict[str, int] = {}
+        # Emit columns.
+        self._emit_time = _Column(_np.float64)
+        self._emit_root = _Column(_np.int64)
+        self._emit_source = _Column(_np.int32)
+        self._emit_replay = _Column(_np.int64)
+        self._emit_backlog = _Column(_np.bool_)
+        # Receipt columns.
+        self._receipt_time = _Column(_np.float64)
+        self._receipt_root = _Column(_np.int64)
+        self._receipt_event = _Column(_np.int64)
+        self._receipt_sink = _Column(_np.int32)
+        self._receipt_emitted = _Column(_np.float64)
+        self._receipt_replay = _Column(_np.int64)
+        # Lazy query state: scan cursors mark how far into the columns the
+        # derived structures have been synced.
+        self._first_emit_map: Dict[int, float] = {}
+        self._first_emit_synced = 0
+        self._roots_received_set: Set[int] = set()
+        self._roots_synced = 0
+        # Lazy row/time views shadow the base class's list attributes.
+        self.source_emits = _EmitRowsView(self)  # type: ignore[assignment]
+        self.sink_receipts = _ReceiptRowsView(self)  # type: ignore[assignment]
+        self.emit_times = _TimesView(self._emit_time)  # type: ignore[assignment]
+        self.receipt_times = _TimesView(self._receipt_time)  # type: ignore[assignment]
+
+    # ------------------------------------------------------------- internals
+    def _code(self, name: str) -> int:
+        code = self._name_codes.get(name)
+        if code is None:
+            code = len(self._names)
+            self._name_codes[name] = code
+            self._names.append(name)
+        return code
+
+    @property
+    def _root_first_emit(self) -> Dict[int, float]:
+        n = self._emit_time.n
+        if self._first_emit_synced < n:
+            roots = self._emit_root.data[self._first_emit_synced:n][::-1].tolist()
+            times = self._emit_time.data[self._first_emit_synced:n][::-1].tolist()
+            # Reversed zip keeps the *earliest* occurrence per root within the
+            # new block; entries already in the map win over the block.
+            block = dict(zip(roots, times))
+            block.update(self._first_emit_map)
+            self._first_emit_map = block
+            self._first_emit_synced = n
+        return self._first_emit_map
+
+    @_root_first_emit.setter
+    def _root_first_emit(self, value: Dict[int, float]) -> None:
+        self._first_emit_map = value
+
+    @property
+    def _roots_received(self) -> Set[int]:
+        n = self._receipt_time.n
+        if self._roots_synced < n:
+            self._roots_received_set.update(
+                self._receipt_root.data[self._roots_synced:n].tolist()
+            )
+            self._roots_synced = n
+        return self._roots_received_set
+
+    @_roots_received.setter
+    def _roots_received(self, value: Set[int]) -> None:
+        self._roots_received_set = value
+
+    # -------------------------------------------------------- array accessors
+    @property
+    def emit_times_array(self):
+        """Emit times as a float64 array view (zero-copy, monotone)."""
+        return self._emit_time.view()
+
+    @property
+    def receipt_times_array(self):
+        """Receipt times as a float64 array view (zero-copy, monotone)."""
+        return self._receipt_time.view()
+
+    @property
+    def receipt_emitted_array(self):
+        """Per-receipt root emission times (parallel to the receipt times)."""
+        return self._receipt_emitted.view()
+
+    def emit_columns(self) -> Dict[str, Any]:
+        """Compact copies of the emit columns (for shard transport/merging)."""
+        return {
+            "time": self._emit_time.view().copy(),
+            "root": self._emit_root.view().copy(),
+            "source": self._emit_source.view().copy(),
+            "replay": self._emit_replay.view().copy(),
+            "backlog": self._emit_backlog.view().copy(),
+            "names": list(self._names),
+        }
+
+    def receipt_columns(self) -> Dict[str, Any]:
+        """Compact copies of the receipt columns (for shard transport/merging)."""
+        return {
+            "time": self._receipt_time.view().copy(),
+            "root": self._receipt_root.view().copy(),
+            "event": self._receipt_event.view().copy(),
+            "sink": self._receipt_sink.view().copy(),
+            "emitted": self._receipt_emitted.view().copy(),
+            "replay": self._receipt_replay.view().copy(),
+            "names": list(self._names),
+        }
+
+    # -------------------------------------------------------------- recording
+    def record_source_emit(
+        self,
+        root_id: int,
+        source: str,
+        replay_count: int = 0,
+        from_backlog: bool = False,
+        at_time: Optional[float] = None,
+    ) -> None:
+        now = self.sim.now if at_time is None else at_time
+        self._emit_time.append(now)
+        self._emit_root.append(root_id)
+        self._emit_source.append(self._code(source))
+        self._emit_replay.append(replay_count)
+        self._emit_backlog.append(from_backlog)
+        if replay_count > 0:
+            self.replay_emits += 1
+
+    def record_sink_receipt(
+        self,
+        root_id: int,
+        event_id: int,
+        sink: str,
+        root_emitted_at: float,
+        replay_count: int,
+        at_time: Optional[float] = None,
+    ) -> None:
+        now = self.sim.now if at_time is None else at_time
+        self._receipt_time.append(now)
+        self._receipt_root.append(root_id)
+        self._receipt_event.append(event_id)
+        self._receipt_sink.append(self._code(sink))
+        self._receipt_emitted.append(root_emitted_at)
+        self._receipt_replay.append(replay_count)
+
+    # ----------------------------------------------------------- bulk appends
+    def extend_emits(
+        self,
+        times: Sequence[float],
+        root_ids: Sequence[int],
+        source: str,
+        replay_count: int = 0,
+        from_backlog: bool = False,
+    ) -> None:
+        before = self._emit_time.n
+        self._emit_time.extend(times)
+        count = self._emit_time.n - before
+        self._emit_root.extend(root_ids)
+        self._emit_source.extend_fill(self._code(source), count)
+        self._emit_replay.extend_fill(replay_count, count)
+        self._emit_backlog.extend_fill(from_backlog, count)
+        if replay_count > 0:
+            self.replay_emits += count
+
+    def extend_receipts(
+        self,
+        times: Sequence[float],
+        root_ids: Sequence[int],
+        event_ids: Sequence[int],
+        sinks: Any,
+        root_emitted_ats: Sequence[float],
+        replay_count: int = 0,
+        sink_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        before = self._receipt_time.n
+        self._receipt_time.extend(times)
+        count = self._receipt_time.n - before
+        self._receipt_root.extend(root_ids)
+        self._receipt_event.extend(event_ids)
+        if sink_indices is None:
+            self._receipt_sink.extend_fill(self._code(sinks), count)
+        else:
+            codes = _np.asarray([self._code(name) for name in sinks], dtype=_np.int32)
+            self._receipt_sink.extend(codes[_np.asarray(sink_indices)])
+        self._receipt_emitted.extend(root_emitted_ats)
+        self._receipt_replay.extend_fill(replay_count, count)

@@ -13,10 +13,19 @@ Merge determinism
 -----------------
 Each shard numbers its events from 1 (hermetic reset), so ids collide across
 shards.  The merge namespaces every id into ``shard_index * SHARD_ID_STRIDE +
-local_id`` — a pure function of the spec — and interleaves the per-shard
-record streams ordered by ``(time, namespaced id)``.  Both steps are
+local_id`` — a pure function of the spec — and orders the union of the
+per-shard record streams by ``(time, namespaced id)``.  Both steps are
 deterministic, which is what makes an N-worker merged log byte-identical to
 the 1-worker merged log for the same specs (asserted via :func:`log_digest`).
+
+With numpy available the merge is pure array work: per-shard columns (either
+shipped directly by a columnar shard log or built once from record lists) are
+concatenated, id-offset, and reordered with one stable ``np.lexsort`` on
+``(time, namespaced id)``, producing a
+:class:`~repro.metrics.log.ColumnarEventLog` without touching a single
+per-record Python object.  Shard streams are sorted by ``(time, id)`` within
+a shard (ids are assigned in record order and times are monotone), so the
+lexsort reproduces exactly the order the per-record heap interleave produced.
 
 This module deliberately knows nothing about dataflows or clusters: the
 concrete shard runner lives in :mod:`repro.experiments.sharded`, and is passed
@@ -31,12 +40,18 @@ import heapq
 import multiprocessing
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
 
 from repro.sim.rng import keyed_seed
 
 #: Environment variable naming the default worker-process count for sharded
-#: runs (``0`` or unset: one worker per shard, capped at the CPU count).
+#: runs (``0``, unset or invalid: one worker per shard, capped at the CPU
+#: count; positive values are clamped to the shard and CPU counts).
 SHARDS_ENV_VAR = "REPRO_SIM_SHARDS"
 
 #: Id namespace stride: merged ids are ``shard_index * stride + local_id``.
@@ -61,6 +76,15 @@ class ShardSpec:
     duration_s: float = 10.0
     seed: int = 2018
     batch_stepping: bool = True
+    #: Rate-profile preset driving the shard's sources (``None``: constant
+    #: rate).  Every shard follows the same shape at ``1/shards`` of the
+    #: amplitude, so the merged offered rate follows the preset.
+    profile: Optional[str] = None
+    #: Interval at which a per-shard monitor samples rates/backlogs/latency
+    #: (``0``: no sampling).  Sharded elastic runs set this to the central
+    #: controller's check interval; all shards then sample at identical
+    #: times, which is what lets the merge aggregate samples positionally.
+    sample_interval_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -84,30 +108,63 @@ class ShardResult:
     """Picklable outcome of one shard: its emission/receipt records.
 
     ``emits`` and ``receipts`` are the shard log's (time-ordered) record
-    lists; ``summary`` is :meth:`~repro.metrics.log.EventLog.summary`.
+    lists; columnar shard logs ship ``emit_columns``/``receipt_columns``
+    (numpy field arrays plus an interned name table) instead and leave the
+    record lists empty — the merge consumes either representation.
+    ``summary`` is :meth:`~repro.metrics.log.EventLog.summary`; ``samples``
+    carries the shard's monitor timeline when the spec asked for sampling.
     """
 
     index: int
     emits: List = field(default_factory=list)
     receipts: List = field(default_factory=list)
     summary: Dict[str, float] = field(default_factory=dict)
+    emit_columns: Optional[Dict[str, Any]] = None
+    receipt_columns: Optional[Dict[str, Any]] = None
+    samples: List = field(default_factory=list)
+
+    @property
+    def emit_count(self) -> int:
+        """Number of source emissions, whichever representation was shipped."""
+        if self.emit_columns is not None:
+            return len(self.emit_columns["time"])
+        return len(self.emits)
+
+    @property
+    def receipt_count(self) -> int:
+        """Number of sink receipts, whichever representation was shipped."""
+        if self.receipt_columns is not None:
+            return len(self.receipt_columns["time"])
+        return len(self.receipts)
+
+
+def resolve_worker_env(raw: Optional[str], tasks: int) -> int:
+    """Shared env-var → worker-count rule for parallel fan-outs.
+
+    A positive integer is honored but clamped to both the number of tasks
+    and the machine's CPU count (oversubscribing a process pool only adds
+    scheduling noise); ``0``, ``None``, empty, or an unparsable value all
+    mean "auto": one worker per task, capped at the CPU count.
+    """
+    cpus = os.cpu_count() or 1
+    if raw is not None and raw.strip():
+        try:
+            value = int(raw.strip())
+        except ValueError:
+            value = 0
+        if value > 0:
+            return max(1, min(value, tasks, cpus))
+    return max(1, min(tasks, cpus))
 
 
 def shard_worker_count(shards: int) -> int:
     """Resolve the worker-process count for a sharded run.
 
-    ``REPRO_SIM_SHARDS`` wins when set to a positive integer; otherwise one
-    worker per shard, capped at the machine's CPU count.
+    ``REPRO_SIM_SHARDS`` wins when set to a positive integer (clamped to the
+    shard count and the CPU count); ``0``, unset or invalid mean "auto" —
+    one worker per shard, capped at the machine's CPU count.
     """
-    raw = os.environ.get(SHARDS_ENV_VAR, "").strip()
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            value = 0
-        if value > 0:
-            return min(value, shards)
-    return max(1, min(shards, os.cpu_count() or 1))
+    return resolve_worker_env(os.environ.get(SHARDS_ENV_VAR), shards)
 
 
 def run_shards(
@@ -135,15 +192,195 @@ def run_shards(
 
 
 def merge_shard_results(results: Sequence[ShardResult]):
-    """Deterministically merge per-shard records into one :class:`EventLog`.
+    """Deterministically merge per-shard records into one event log.
 
     Ids are namespaced by shard (see :data:`SHARD_ID_STRIDE`) and the
-    per-shard streams — already time-ordered — are interleaved by
+    per-shard streams — already time-ordered — are ordered by
     ``(time, namespaced id)``, so the output is a pure function of the shard
     results, bit-stable across worker counts and repeat runs.
+
+    With numpy the merge is array concatenation plus one stable
+    ``np.lexsort`` per stream, landing in a columnar log; without it the
+    per-record heap interleave builds a classic :class:`EventLog`.  Both
+    paths produce the same :func:`log_digest`.
     """
+    if _np is not None:
+        return _merge_shard_results_columnar(results)
+    return _merge_shard_results_python(results)
+
+
+def _emit_columns_of(result: ShardResult) -> Optional[Dict[str, Any]]:
+    """The shard's emit columns, built from its record list if necessary."""
+    if result.emit_columns is not None:
+        return result.emit_columns
+    emits = result.emits
+    if not emits:
+        return None
+    n = len(emits)
+    names: List[str] = []
+    codes: Dict[str, int] = {}
+    time = _np.empty(n, dtype=_np.float64)
+    root = _np.empty(n, dtype=_np.int64)
+    source = _np.empty(n, dtype=_np.int32)
+    replay = _np.empty(n, dtype=_np.int64)
+    backlog = _np.empty(n, dtype=_np.bool_)
+    for i, emit in enumerate(emits):
+        time[i] = emit.time
+        root[i] = emit.root_id
+        replay[i] = emit.replay_count
+        backlog[i] = emit.from_backlog
+        code = codes.get(emit.source)
+        if code is None:
+            code = len(names)
+            codes[emit.source] = code
+            names.append(emit.source)
+        source[i] = code
+    return {"time": time, "root": root, "source": source,
+            "replay": replay, "backlog": backlog, "names": names}
+
+
+def _receipt_columns_of(result: ShardResult) -> Optional[Dict[str, Any]]:
+    """The shard's receipt columns, built from its record list if necessary."""
+    if result.receipt_columns is not None:
+        return result.receipt_columns
+    receipts = result.receipts
+    if not receipts:
+        return None
+    n = len(receipts)
+    names: List[str] = []
+    codes: Dict[str, int] = {}
+    time = _np.empty(n, dtype=_np.float64)
+    root = _np.empty(n, dtype=_np.int64)
+    event = _np.empty(n, dtype=_np.int64)
+    sink = _np.empty(n, dtype=_np.int32)
+    emitted = _np.empty(n, dtype=_np.float64)
+    replay = _np.empty(n, dtype=_np.int64)
+    for i, receipt in enumerate(receipts):
+        time[i] = receipt.time
+        root[i] = receipt.root_id
+        event[i] = receipt.event_id
+        emitted[i] = receipt.root_emitted_at
+        replay[i] = receipt.replay_count
+        code = codes.get(receipt.sink)
+        if code is None:
+            code = len(names)
+            codes[receipt.sink] = code
+            names.append(receipt.sink)
+        sink[i] = code
+    return {"time": time, "root": root, "event": event, "sink": sink,
+            "emitted": emitted, "replay": replay, "names": names}
+
+
+def _merge_shard_results_columnar(results: Sequence[ShardResult]):
+    """Array merge: concatenate shard columns, lexsort on (time, id)."""
     # Imported here: repro.metrics.log imports repro.sim, so a module-level
     # import would make this module unimportable from repro.metrics.
+    from repro.metrics.log import ColumnarEventLog
+    from repro.sim.kernel import Simulator
+
+    log = ColumnarEventLog(Simulator())
+    ordered = sorted(results, key=lambda result: result.index)
+
+    emit_parts: List[tuple] = []
+    receipt_parts: List[tuple] = []
+    for result in ordered:
+        offset = result.index * SHARD_ID_STRIDE
+        cols = _emit_columns_of(result)
+        if cols is not None and len(cols["time"]):
+            lut = _np.asarray(
+                [log._code(name) for name in cols["names"]], dtype=_np.int32
+            )
+            emit_parts.append((
+                _np.asarray(cols["time"], dtype=_np.float64),
+                _np.asarray(cols["root"], dtype=_np.int64) + offset,
+                lut[_np.asarray(cols["source"])],
+                _np.asarray(cols["replay"], dtype=_np.int64),
+                _np.asarray(cols["backlog"], dtype=_np.bool_),
+            ))
+        cols = _receipt_columns_of(result)
+        if cols is not None and len(cols["time"]):
+            lut = _np.asarray(
+                [log._code(name) for name in cols["names"]], dtype=_np.int32
+            )
+            receipt_parts.append((
+                _np.asarray(cols["time"], dtype=_np.float64),
+                _np.asarray(cols["root"], dtype=_np.int64) + offset,
+                _np.asarray(cols["event"], dtype=_np.int64) + offset,
+                lut[_np.asarray(cols["sink"])],
+                _np.asarray(cols["emitted"], dtype=_np.float64),
+                _np.asarray(cols["replay"], dtype=_np.int64),
+            ))
+
+    if emit_parts:
+        time, root, source, replay, backlog = (
+            _np.concatenate([part[i] for part in emit_parts]) for i in range(5)
+        )
+        # lexsort's last key is primary: order by time, then namespaced root.
+        order = _np.lexsort((root, time))
+        log._emit_time.extend(time[order])
+        log._emit_root.extend(root[order])
+        log._emit_source.extend(source[order])
+        log._emit_replay.extend(replay[order])
+        log._emit_backlog.extend(backlog[order])
+        log.replay_emits += int((replay > 0).sum())
+    if receipt_parts:
+        time, root, event, sink, emitted, replay = (
+            _np.concatenate([part[i] for part in receipt_parts]) for i in range(6)
+        )
+        # Receipts order by (time, namespaced event id), as the heap merge did.
+        order = _np.lexsort((event, time))
+        log._receipt_time.extend(time[order])
+        log._receipt_root.extend(root[order])
+        log._receipt_event.extend(event[order])
+        log._receipt_sink.extend(sink[order])
+        log._receipt_emitted.extend(emitted[order])
+        log._receipt_replay.extend(replay[order])
+    return log
+
+
+def _emit_records_of(result: ShardResult) -> List:
+    """The shard's emit records, materialized from its columns if necessary."""
+    if result.emits or result.emit_columns is None:
+        return result.emits
+    from repro.metrics.log import SourceEmit, _as_list
+
+    cols = result.emit_columns
+    names = cols["names"]
+    return [
+        SourceEmit(time=time, root_id=root, source=names[source],
+                   replay_count=replay, from_backlog=bool(backlog))
+        for time, root, source, replay, backlog in zip(
+            _as_list(cols["time"]), _as_list(cols["root"]), _as_list(cols["source"]),
+            _as_list(cols["replay"]), _as_list(cols["backlog"]),
+        )
+    ]
+
+
+def _receipt_records_of(result: ShardResult) -> List:
+    """The shard's receipt records, materialized from its columns if necessary."""
+    if result.receipts or result.receipt_columns is None:
+        return result.receipts
+    from repro.metrics.log import SinkReceipt, _as_list
+
+    cols = result.receipt_columns
+    names = cols["names"]
+    return [
+        SinkReceipt(time=time, root_id=root, event_id=event, sink=names[sink],
+                    root_emitted_at=emitted, replay_count=replay)
+        for time, root, event, sink, emitted, replay in zip(
+            _as_list(cols["time"]), _as_list(cols["root"]), _as_list(cols["event"]),
+            _as_list(cols["sink"]), _as_list(cols["emitted"]), _as_list(cols["replay"]),
+        )
+    ]
+
+
+def _merge_shard_results_python(results: Sequence[ShardResult]):
+    """Per-record heap interleave (fallback when numpy is unavailable).
+
+    Shard results recorded columnar-side (``emit_columns``/``receipt_columns``)
+    are materialized back into record objects first, so this path accepts the
+    same inputs as the array merge.
+    """
     from repro.metrics.log import EventLog
     from repro.sim.kernel import Simulator
 
@@ -151,12 +388,13 @@ def merge_shard_results(results: Sequence[ShardResult]):
     ordered = sorted(results, key=lambda result: result.index)
 
     def _emits(result: ShardResult, offset: int):
-        return ((emit.time, emit.root_id + offset, emit) for emit in result.emits)
+        return ((emit.time, emit.root_id + offset, emit)
+                for emit in _emit_records_of(result))
 
     def _receipts(result: ShardResult, offset: int):
         return (
             (receipt.time, receipt.event_id + offset, receipt.root_id + offset, receipt)
-            for receipt in result.receipts
+            for receipt in _receipt_records_of(result)
         )
 
     emit_streams = [_emits(r, r.index * SHARD_ID_STRIDE) for r in ordered]
@@ -184,14 +422,87 @@ def merge_shard_results(results: Sequence[ShardResult]):
     return log
 
 
+def merge_monitor_samples(sample_lists: Sequence[Sequence]) -> List:
+    """Aggregate per-shard monitor timelines into one cluster-wide timeline.
+
+    Sharded elastic runs sample every shard on the same schedule (see
+    :attr:`ShardSpec.sample_interval_s`), so samples group cleanly by
+    timestamp.  Within a group: rates and backlogs sum across shards;
+    ``avg_latency_s`` is the receipt-weighted mean of the shard means
+    (``output_rate`` is receipts-per-interval with a common interval, hence
+    proportional to each shard's receipt count); sources count as paused
+    only when paused on *every* shard.  Groups are combined in shard order,
+    so the result is a pure function of the shard results — worker-count
+    invariant like the log merge.
+    """
+    from repro.elastic.monitor import MonitorSample
+
+    buckets: Dict[float, List] = {}
+    for samples in sample_lists:
+        for sample in samples:
+            buckets.setdefault(sample.time, []).append(sample)
+    merged: List[MonitorSample] = []
+    for time in sorted(buckets):
+        group = buckets[time]
+        latency_weight = sum(
+            s.output_rate for s in group if s.avg_latency_s is not None
+        )
+        if latency_weight > 0:
+            avg_latency: Optional[float] = (
+                sum(
+                    s.output_rate * s.avg_latency_s
+                    for s in group
+                    if s.avg_latency_s is not None
+                )
+                / latency_weight
+            )
+        else:
+            avg_latency = None
+        merged.append(MonitorSample(
+            time=time,
+            input_rate=sum(s.input_rate for s in group),
+            offered_rate=sum(s.offered_rate for s in group),
+            output_rate=sum(s.output_rate for s in group),
+            avg_latency_s=avg_latency,
+            queue_backlog=sum(s.queue_backlog for s in group),
+            source_backlog=sum(s.source_backlog for s in group),
+            sources_paused=all(s.sources_paused for s in group),
+        ))
+    return merged
+
+
 def log_digest(log) -> str:
     """Stable content hash of a log's emission/receipt records.
 
     Floats are rendered with ``repr`` (shortest round-trip form), so two logs
     share a digest iff every record field is bit-identical — the check behind
-    the "N workers == 1 worker" acceptance criterion.
+    the "N workers == 1 worker" acceptance criterion.  Columnar logs are
+    hashed straight from their columns (``tolist`` yields the same native
+    floats/ints the records would carry), skipping row materialization.
     """
     hasher = hashlib.sha256()
+    emit_columns = getattr(log, "emit_columns", None)
+    if callable(emit_columns):
+        cols = emit_columns()
+        names = cols["names"]
+        for time, root, code, replay, backlog in zip(
+            cols["time"].tolist(), cols["root"].tolist(), cols["source"].tolist(),
+            cols["replay"].tolist(), cols["backlog"].tolist(),
+        ):
+            hasher.update(
+                f"E {time!r} {root} {names[code]} {replay} {int(backlog)}\n".encode("utf-8")
+            )
+        cols = log.receipt_columns()
+        names = cols["names"]
+        for time, root, event, code, emitted, replay in zip(
+            cols["time"].tolist(), cols["root"].tolist(), cols["event"].tolist(),
+            cols["sink"].tolist(), cols["emitted"].tolist(), cols["replay"].tolist(),
+        ):
+            hasher.update(
+                f"R {time!r} {root} {event} {names[code]} "
+                f"{emitted!r} {replay}\n".encode("utf-8")
+            )
+        return hasher.hexdigest()
     for emit in log.source_emits:
         hasher.update(
             f"E {emit.time!r} {emit.root_id} {emit.source} "

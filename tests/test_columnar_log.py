@@ -1,0 +1,142 @@
+"""Columnar EventLog specifics: bulk appends, lazy views, interning.
+
+The bit-compatibility of the columnar backend against the classic one is
+pinned by ``tests/test_log_equivalence.py``; these tests cover the columnar
+surface directly — the ``extend_*`` bulk-append API both backends share, the
+lazy row/time views (bounds, slices, equality, iteration types) and the
+derived state kept in sync across bulk and scalar appends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.log import HAVE_COLUMNAR, ColumnarEventLog, EventLog
+from repro.sim.shard import log_digest
+
+pytestmark = pytest.mark.skipif(not HAVE_COLUMNAR, reason="numpy unavailable")
+
+
+class _Clock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def _scalar_filled(log_cls):
+    """Reference log filled one record at a time through the scalar API."""
+    clock = _Clock()
+    log = log_cls(clock)
+    for i in range(8):
+        clock.now = 1.0 + i * 0.5
+        log.record_source_emit(root_id=100 + i, source="src", replay_count=1 if i == 3 else 0)
+    for i in range(8):
+        clock.now = 10.0 + i * 0.25
+        log.record_sink_receipt(root_id=100 + i, event_id=500 + i,
+                                sink="sink_a" if i % 2 == 0 else "sink_b",
+                                root_emitted_at=1.0 + i * 0.5,
+                                replay_count=1 if i == 3 else 0)
+    clock.now = 20.0
+    return log
+
+
+def _bulk_filled(log_cls):
+    """The same records appended through the bulk extend_* API."""
+    clock = _Clock()
+    log = log_cls(clock)
+    emit_times = [1.0 + i * 0.5 for i in range(8)]
+    roots = [100 + i for i in range(8)]
+    log.extend_emits(emit_times[:3], roots[:3], "src")
+    log.extend_emits(emit_times[3:4], roots[3:4], "src", replay_count=1)
+    log.extend_emits(emit_times[4:], roots[4:], "src")
+    receipt_times = [10.0 + i * 0.25 for i in range(8)]
+    events = [500 + i for i in range(8)]
+    # Multi-sink slice via sink_indices, plus single-name slices around it.
+    log.extend_receipts(receipt_times[:3], roots[:3], events[:3],
+                        ["sink_a", "sink_b"], emit_times[:3],
+                        sink_indices=[0, 1, 0])
+    log.extend_receipts(receipt_times[3:4], roots[3:4], events[3:4],
+                        "sink_b", emit_times[3:4], replay_count=1)
+    log.extend_receipts(receipt_times[4:], roots[4:], events[4:],
+                        ["sink_a", "sink_b"], emit_times[4:],
+                        sink_indices=[0, 1, 0, 1])
+    clock.now = 20.0
+    return log
+
+
+@pytest.mark.parametrize("log_cls", [EventLog, ColumnarEventLog])
+def test_bulk_extend_matches_scalar_records(log_cls):
+    scalar = _scalar_filled(log_cls)
+    bulk = _bulk_filled(log_cls)
+    assert log_digest(bulk) == log_digest(scalar)
+    assert list(bulk.source_emits) == list(scalar.source_emits)
+    assert list(bulk.sink_receipts) == list(scalar.sink_receipts)
+    assert bulk.replay_emits == scalar.replay_emits == 1
+
+
+def test_backends_agree_on_bulk_fill():
+    assert log_digest(_bulk_filled(ColumnarEventLog)) == log_digest(_bulk_filled(EventLog))
+
+
+class TestViews:
+    @pytest.fixture()
+    def log(self):
+        return _bulk_filled(ColumnarEventLog)
+
+    def test_time_views_yield_python_floats(self, log):
+        assert all(type(t) is float for t in log.emit_times)
+        assert all(type(t) is float for t in log.receipt_times[:])
+        assert type(log.emit_times[0]) is float
+
+    def test_views_are_bounds_checked(self, log):
+        # The backing buffers over-allocate; indexing past the live prefix
+        # must raise, not expose stale garbage.
+        assert len(log.emit_times) == 8
+        with pytest.raises(IndexError):
+            log.emit_times[8]
+        with pytest.raises(IndexError):
+            log.source_emits[8]
+        assert log.emit_times[-1] == 4.5
+        assert log.source_emits[-1].root_id == 107
+
+    def test_view_slicing_and_equality(self, log):
+        assert log.emit_times[2:4] == [2.0, 2.5]
+        assert log.emit_times == [1.0 + i * 0.5 for i in range(8)]
+        assert log.receipt_times == list(log.receipt_times)
+
+    def test_row_views_materialize_records(self, log):
+        receipt = log.sink_receipts[3]
+        assert receipt.sink == "sink_b"
+        assert receipt.replay_count == 1
+        assert [e.root_id for e in log.source_emits[:2]] == [100, 101]
+
+    def test_bisect_works_against_views(self, log):
+        import bisect
+
+        assert bisect.bisect_left(log.emit_times, 2.5) == 3
+        assert bisect.bisect_left(log.receipt_times, 10.5) == 2
+        assert bisect.bisect_left(log.emit_times, 100.0) == 8
+
+
+class TestLazyDerivedState:
+    def test_first_emit_keeps_earliest_on_replay(self):
+        clock = _Clock()
+        log = ColumnarEventLog(clock)
+        clock.now = 1.0
+        log.record_source_emit(root_id=7, source="src")
+        # Query forces the lazy map to sync; later appends must re-sync.
+        assert log.is_old_root(7, migration_time=2.0)
+        clock.now = 5.0
+        log.record_source_emit(root_id=7, source="src", replay_count=1)
+        log.extend_emits([6.0], [9], "src")
+        assert log.is_old_root(7, migration_time=2.0)  # earliest emit wins
+        assert not log.is_old_root(9, migration_time=2.0)
+
+    def test_distinct_roots_syncs_across_bulk_appends(self):
+        clock = _Clock()
+        log = ColumnarEventLog(clock)
+        log.extend_receipts([1.0, 2.0], [1, 2], [10, 11], "sink", [0.5, 0.5])
+        assert log.distinct_roots_received() == 2
+        log.extend_receipts([3.0], [1], [12], "sink", [0.5])
+        log.record_sink_receipt(root_id=3, event_id=13, sink="sink",
+                                root_emitted_at=0.5, replay_count=0, at_time=4.0)
+        assert log.distinct_roots_received() == 3

@@ -1,16 +1,22 @@
-"""Equivalence tests for the bisect-indexed EventLog and single-pass timelines.
+"""Equivalence tests for the EventLog backends and single-pass timelines.
 
 The fast-path overhaul replaced the EventLog's linear scans with binary
 searches over parallel monotone time arrays, and gave the timelines a
-single-pass binning path.  These tests pin the new implementations to naive
-reference implementations (the seed's original list comprehensions) on
+single-pass binning path; the columnar overhaul then moved the whole record
+store into numpy arrays behind the same query API.  These tests pin both
+backends to naive reference implementations (the seed's original list
+comprehensions) and to each other on
 
 * a recorded Grid steady-state run,
-* a recorded closed-loop elastic run (migrations, replays, kills), and
+* a recorded closed-loop elastic run (migrations, replays, kills),
+* a sharded-run merge (both the heapq fallback and the lexsort array path),
+  and
 * synthetic logs exercising empty windows, exact-boundary windows and
   equal-time ties,
 
-asserting byte-identical results everywhere.
+asserting byte-identical results everywhere — including
+:func:`~repro.sim.shard.log_digest` equality between the classic and
+columnar backends for every recorded scenario.
 """
 
 from __future__ import annotations
@@ -20,13 +26,26 @@ import math
 import pytest
 
 from repro.dataflow import topologies
+from repro.dataflow.event import reset_event_ids
+from repro.core.strategy import strategy_by_name
 from repro.engine.runtime import TopologyRuntime
 from repro.experiments.elastic import run_elastic_experiment
-from repro.metrics.log import EventLog
+from repro.experiments.sharded import run_sharded_experiment
+from repro.metrics.log import HAVE_COLUMNAR, ColumnarEventLog, EventLog
 from repro.metrics.timeline import RatePoint, latency_timeline, rate_timeline
 from repro.sim import Simulator
+from repro.sim.shard import (
+    _merge_shard_results_columnar,
+    _merge_shard_results_python,
+    log_digest,
+)
 
 from tests.conftest import build_cluster, fast_config
+
+#: Log backends under test; the columnar one needs numpy.
+BACKENDS = ["classic"] + (["columnar"] if HAVE_COLUMNAR else [])
+
+needs_columnar = pytest.mark.skipif(not HAVE_COLUMNAR, reason="numpy unavailable")
 
 
 # ----------------------------------------------------------- naive references
@@ -105,25 +124,80 @@ def naive_latency_timeline(log, start, end, window_s):
 
 
 # ------------------------------------------------------------------ fixtures
-@pytest.fixture(scope="module")
-def grid_log():
+def _grid_log(columnar: bool):
     """Event log of a 60 s Grid steady-state run (no migrations)."""
+    # Root/event ids are process-global; restart them so the classic and
+    # columnar runs see identical id streams (digests hash the ids).
+    reset_event_ids()
     sim = Simulator()
     cluster = build_cluster(sim, worker_vms=11)
-    runtime = TopologyRuntime(topologies.grid(), cluster, sim=sim, config=fast_config("dcr"))
+    config = fast_config("dcr")
+    config.columnar_log = columnar
+    runtime = TopologyRuntime(topologies.grid(), cluster, sim=sim, config=config)
     runtime.deploy()
     runtime.start()
     sim.run(until=60.0)
     return runtime.log
 
 
-@pytest.fixture(scope="module")
-def elastic_log():
-    """Event log of a closed-loop elastic run (migration, kills, replays)."""
+def _elastic_log(columnar: bool):
+    """Event log of a closed-loop elastic run (migration, kills, replays).
+
+    The config is passed explicitly so the classic and columnar runs differ
+    in nothing but the log backend.
+    """
+    config = strategy_by_name("dsm").runtime_config(seed=11)
+    config.columnar_log = columnar
     result = run_elastic_experiment(
-        dag="traffic", strategy="dsm", profile="surge", duration_s=300.0, seed=11
+        dag="traffic", strategy="dsm", profile="surge", duration_s=300.0,
+        seed=11, config=config,
     )
     return result.log
+
+
+@pytest.fixture(scope="module")
+def shard_results():
+    """Per-shard results of one sharded Grid run, merged by both paths below."""
+    return run_sharded_experiment(dag="grid", shards=3, duration_s=10.0,
+                                  seed=2018, workers=1).results
+
+
+@pytest.fixture(scope="module")
+def grid_log():
+    return _grid_log(columnar=False)
+
+
+@pytest.fixture(scope="module")
+def grid_log_columnar():
+    if not HAVE_COLUMNAR:
+        pytest.skip("numpy unavailable")
+    return _grid_log(columnar=True)
+
+
+@pytest.fixture(scope="module")
+def elastic_log():
+    return _elastic_log(columnar=False)
+
+
+@pytest.fixture(scope="module")
+def elastic_log_columnar():
+    if not HAVE_COLUMNAR:
+        pytest.skip("numpy unavailable")
+    return _elastic_log(columnar=True)
+
+
+@pytest.fixture(scope="module")
+def merged_log(shard_results):
+    """Sharded-run merge through the per-record heapq fallback."""
+    return _merge_shard_results_python(shard_results)
+
+
+@pytest.fixture(scope="module")
+def merged_log_columnar(shard_results):
+    """The same merge through the lexsort array path."""
+    if not HAVE_COLUMNAR:
+        pytest.skip("numpy unavailable")
+    return _merge_shard_results_columnar(shard_results)
 
 
 def interesting_times(log):
@@ -138,7 +212,11 @@ def interesting_times(log):
     return times
 
 
-LOG_FIXTURES = ["grid_log", "elastic_log"]
+LOG_FIXTURES = [
+    "grid_log", "grid_log_columnar",
+    "elastic_log", "elastic_log_columnar",
+    "merged_log", "merged_log_columnar",
+]
 
 
 # ---------------------------------------------------------------- log queries
@@ -188,8 +266,8 @@ class TestIndexedQueriesMatchNaive:
         log = request.getfixturevalue(log_fixture)
         assert log.receipt_times == [r.time for r in log.sink_receipts]
         assert log.emit_times == [e.time for e in log.source_emits]
-        assert log.receipt_times == sorted(log.receipt_times)
-        assert log.emit_times == sorted(log.emit_times)
+        assert list(log.receipt_times) == sorted(log.receipt_times)
+        assert list(log.emit_times) == sorted(log.emit_times)
 
 
 # ------------------------------------------------------------------ timelines
@@ -217,17 +295,52 @@ class TestTimelinesMatchNaive:
                 naive_latency_timeline(log, start, end, window_s)
 
 
+# ------------------------------------------- classic vs columnar byte identity
+@needs_columnar
+class TestBackendByteIdentity:
+    """The columnar backend must be indistinguishable from the classic one.
+
+    ``log_digest`` hashes every record field with ``repr`` semantics, so
+    digest equality is byte-level equivalence of the full record streams.
+    """
+
+    def test_grid_digest(self, grid_log, grid_log_columnar):
+        assert log_digest(grid_log_columnar) == log_digest(grid_log)
+
+    def test_elastic_digest(self, elastic_log, elastic_log_columnar):
+        assert log_digest(elastic_log_columnar) == log_digest(elastic_log)
+
+    def test_sharded_merge_digest(self, merged_log, merged_log_columnar):
+        assert log_digest(merged_log_columnar) == log_digest(merged_log)
+
+    def test_grid_records_compare_equal(self, grid_log, grid_log_columnar):
+        assert list(grid_log_columnar.source_emits) == list(grid_log.source_emits)
+        assert list(grid_log_columnar.sink_receipts) == list(grid_log.sink_receipts)
+        assert grid_log_columnar.emit_times == grid_log.emit_times
+        assert grid_log_columnar.receipt_times == grid_log.receipt_times
+
+    def test_elastic_counters_match(self, elastic_log, elastic_log_columnar):
+        assert elastic_log_columnar.replay_emits == elastic_log.replay_emits
+        assert elastic_log_columnar.distinct_roots_received() == \
+            elastic_log.distinct_roots_received()
+
+
 # ----------------------------------------------------------- synthetic ties
 class _Clock:
     def __init__(self) -> None:
         self.now = 0.0
 
 
-def test_tie_times_and_boundaries_synthetic():
-    """Equal-time records and exact-boundary queries match the naive scans."""
+def _make_log(backend: str, clock) -> EventLog:
+    if backend == "columnar":
+        return ColumnarEventLog(clock)  # type: ignore[arg-type]
+    return EventLog(clock)  # type: ignore[arg-type]
+
+
+def _tie_log(backend: str):
+    """Three roots emitted before t=10, received in tied clusters after it."""
     clock = _Clock()
-    log = EventLog(clock)  # type: ignore[arg-type]
-    # Three roots emitted before t=10, received in tied clusters after it.
+    log = _make_log(backend, clock)
     for root in (1, 2, 3):
         clock.now = float(root)
         log.record_source_emit(root_id=root, source="source")
@@ -236,6 +349,13 @@ def test_tie_times_and_boundaries_synthetic():
         log.record_sink_receipt(root_id=root, event_id=root * 100 + int(now), sink="sink",
                                 root_emitted_at=float(root), replay_count=replay)
     clock.now = 15.0
+    return log
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_tie_times_and_boundaries_synthetic(backend):
+    """Equal-time records and exact-boundary queries match the naive scans."""
+    log = _tie_log(backend)
     for t in (0.0, 1.0, 9.999, 10.0, 10.0000001, 12.0, 15.0, 20.0):
         assert log.receipts_after(t) == naive_receipts_after(log, t)
         assert log.first_receipt_after(t) == naive_first_receipt_after(log, t)
@@ -245,9 +365,16 @@ def test_tie_times_and_boundaries_synthetic():
     assert log.distinct_roots_received() == naive_distinct_roots_received(log)
 
 
-def test_empty_log_queries():
+@needs_columnar
+def test_tie_log_digests_identical():
+    """Tied/boundary timestamps hash identically across backends."""
+    assert log_digest(_tie_log("columnar")) == log_digest(_tie_log("classic"))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_log_queries(backend):
     """All queries behave on a freshly created, empty log."""
-    log = EventLog(_Clock())  # type: ignore[arg-type]
+    log = _make_log(backend, _Clock())
     assert log.receipts_after(0.0) == []
     assert log.receipts_between(0.0, 100.0) == []
     assert log.emits_between(0.0, 100.0) == []

@@ -16,12 +16,14 @@ from repro.sim.shard import (
     ShardResult,
     ShardSpec,
     log_digest,
+    merge_monitor_samples,
     merge_shard_results,
     run_shards,
     shard_worker_count,
 )
 from repro.experiments.sharded import (
     plan_shards,
+    run_sharded_elastic_experiment,
     run_sharded_experiment,
     run_steady_shard,
 )
@@ -48,6 +50,11 @@ class TestShardSpec:
 
 
 class TestWorkerCount:
+    @pytest.fixture(autouse=True)
+    def eight_cpus(self, monkeypatch):
+        """Pin the CPU count so the clamp is testable on any machine."""
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+
     def test_env_var_wins(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_SHARDS", "2")
         assert shard_worker_count(8) == 2
@@ -55,6 +62,15 @@ class TestWorkerCount:
     def test_env_var_capped_at_shards(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_SHARDS", "64")
         assert shard_worker_count(3) == 3
+
+    def test_env_var_capped_at_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SHARDS", "64")
+        assert shard_worker_count(32) == 8
+
+    def test_env_var_zero_means_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_SHARDS", "0")
+        assert shard_worker_count(4) == 4
+        assert shard_worker_count(32) == 8
 
     def test_invalid_env_var_ignored(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_SHARDS", "not-a-number")
@@ -137,8 +153,8 @@ class TestShardedRunDeterminism:
 
     def test_merged_log_aggregates_every_shard(self):
         result = run_sharded_experiment(workers=1, **self.ARGS)
-        assert len(result.log.source_emits) == sum(len(r.emits) for r in result.results)
-        assert len(result.log.sink_receipts) == sum(len(r.receipts) for r in result.results)
+        assert len(result.log.source_emits) == sum(r.emit_count for r in result.results)
+        assert len(result.log.sink_receipts) == sum(r.receipt_count for r in result.results)
         assert result.log.distinct_roots_received() == sum(
             int(r.summary["distinct_roots_received"]) for r in result.results
         )
@@ -152,6 +168,88 @@ class TestShardedRunDeterminism:
         classic = run_sharded_experiment(workers=1, batch_stepping=False, **self.ARGS)
         assert classic.log.emit_times == batched.log.emit_times
         assert classic.log.receipt_times == batched.log.receipt_times
+
+
+def _sample(time, input_rate=0.0, offered_rate=0.0, output_rate=0.0,
+            avg_latency_s=None, queue_backlog=0, source_backlog=0,
+            sources_paused=False):
+    from repro.elastic.monitor import MonitorSample
+
+    return MonitorSample(time=time, input_rate=input_rate, offered_rate=offered_rate,
+                         output_rate=output_rate, avg_latency_s=avg_latency_s,
+                         queue_backlog=queue_backlog, source_backlog=source_backlog,
+                         sources_paused=sources_paused)
+
+
+class TestMergeMonitorSamples:
+    def test_rates_and_backlogs_sum_per_timestamp(self):
+        merged = merge_monitor_samples([
+            [_sample(15.0, input_rate=4.0, offered_rate=5.0, output_rate=16.0,
+                     avg_latency_s=0.5, queue_backlog=2, source_backlog=1),
+             _sample(30.0, offered_rate=1.0)],
+            [_sample(15.0, input_rate=6.0, offered_rate=5.0, output_rate=4.0,
+                     avg_latency_s=1.5, queue_backlog=3)],
+        ])
+        assert [s.time for s in merged] == [15.0, 30.0]
+        first = merged[0]
+        assert first.input_rate == 10.0
+        assert first.offered_rate == 10.0
+        assert first.output_rate == 20.0
+        assert first.queue_backlog == 5
+        assert first.source_backlog == 1
+
+    def test_latency_is_output_rate_weighted(self):
+        merged = merge_monitor_samples([
+            [_sample(15.0, output_rate=16.0, avg_latency_s=0.5)],
+            [_sample(15.0, output_rate=4.0, avg_latency_s=1.5)],
+        ])
+        assert merged[0].avg_latency_s == pytest.approx((16 * 0.5 + 4 * 1.5) / 20)
+
+    def test_latency_none_when_no_shard_received(self):
+        merged = merge_monitor_samples([[_sample(15.0)], [_sample(15.0)]])
+        assert merged[0].avg_latency_s is None
+
+    def test_paused_only_when_all_shards_paused(self):
+        half = merge_monitor_samples([[_sample(15.0, sources_paused=True)],
+                                      [_sample(15.0, sources_paused=False)]])
+        both = merge_monitor_samples([[_sample(15.0, sources_paused=True)],
+                                      [_sample(15.0, sources_paused=True)]])
+        assert half[0].sources_paused is False
+        assert both[0].sources_paused is True
+
+
+class TestShardedElastic:
+    """Profile-driven shards + centralized controller plan: pool-invariant."""
+
+    ARGS = dict(dag="grid", shards=2, duration_s=240.0, seed=2018, profile="surge")
+
+    def test_pool_invariant_digest_and_actions(self):
+        inline = run_sharded_elastic_experiment(workers=1, **self.ARGS)
+        pooled = run_sharded_elastic_experiment(workers=2, **self.ARGS)
+        assert pooled.digest == inline.digest
+        assert pooled.action_sequence == inline.action_sequence
+
+    def test_surge_plans_out_then_back_in(self):
+        result = run_sharded_elastic_experiment(workers=1, **self.ARGS)
+        assert [a.direction for a in result.actions] == ["out", "in"]
+        assert (result.actions[0].from_tier, result.actions[0].to_tier) == \
+            ("baseline", "expanded")
+        assert (result.actions[1].from_tier, result.actions[1].to_tier) == \
+            ("expanded", "baseline")
+        # The scale-out must be decided while the surge is actually offered.
+        assert result.actions[0].observed_rate > result.actions[1].observed_rate
+
+    def test_merged_samples_are_cluster_wide(self):
+        result = run_sharded_elastic_experiment(workers=1, **self.ARGS)
+        times = [s.time for s in result.samples]
+        assert times == sorted(set(times))  # one merged sample per tick
+        per_shard = max(len(r.samples) for r in result.results)
+        assert len(times) == per_shard
+        # Offered rates sum across shards: the surge peak must show the full
+        # dataflow rate (8 ev/s baseline, ~3x during the surge), not a
+        # single shard's slice of it.
+        peak = max(s.offered_rate for s in result.samples)
+        assert peak > 8.0
 
 
 def test_run_shards_requires_picklable_specs_only_for_pools():
@@ -183,3 +281,15 @@ class TestShardCLI:
         from repro.cli import main
 
         assert main(["shard", "--shards", "0"]) == 2
+
+    def test_shard_elastic_prints_actions_and_digest(self, capsys):
+        from repro.cli import main
+
+        code = main(["shard", "--elastic", "--dag", "grid", "--shards", "2",
+                     "--workers", "1", "--duration", "240"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Sharded elastic run:" in out
+        assert "Planned scaling actions" in out
+        assert "baseline -> expanded" in out
+        assert "merged log digest:" in out
