@@ -8,7 +8,7 @@ is more than ``--threshold`` (default 2.0) times the baseline mean — loose
 enough to absorb machine-class differences between the baseline recorder and
 CI runners, tight enough to catch a real hot-path regression.
 
-Two further checks ride along:
+Three further checks ride along:
 
 * **Throughput floors** — benchmarks listed in ``MIN_EVENTS_PER_SECOND`` must
   report at least that many ``events_per_second``.  Floors only apply when
@@ -21,6 +21,12 @@ Two further checks ride along:
   classic run's by more than ``--rss-tolerance``.  The columnar backend must
   not buy its speed with memory.  Skipped (with a notice) when numpy is
   unavailable.
+* **Telemetry overhead** (``--check-telemetry-overhead``) — runs the Grid
+  surge elastic scenario in paired subprocesses, telemetry off and on,
+  interleaved on the same machine, and fails when the telemetry-on wall time
+  exceeds the telemetry-off wall time by more than
+  ``--telemetry-tolerance`` (default 5%).  The scrape-based design means the
+  hot path allocates nothing for observability; this gate keeps it that way.
 
 Exit code 0 = all checks within budget, 1 = regression, 2 = missing input.
 """
@@ -78,15 +84,72 @@ print(json.dumps({
 """
 
 
-def _run_rss_probe(mode: str) -> dict:
+#: One round of the telemetry-overhead probe: the Grid surge elastic run,
+#: full control loop, telemetry off or on per the argv flag.
+_TELEMETRY_CHILD_CODE = """
+import json, sys, time
+from repro.experiments.elastic import run_elastic_experiment
+
+telemetry = sys.argv[1] == "on"
+start = time.perf_counter()
+result = run_elastic_experiment(
+    dag="grid", strategy="ccr", profile="surge",
+    duration_s=300.0, seed=2018, telemetry=telemetry,
+)
+elapsed = time.perf_counter() - start
+print(json.dumps({
+    "elapsed_s": elapsed,
+    "receipts": len(result.log.sink_receipts),
+    "telemetry": result.telemetry is not None,
+}))
+"""
+
+
+def _child_env() -> dict:
     env = dict(os.environ)
     src = str(HERE.parent / "src")
     env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+def _run_probe(code: str, mode: str) -> dict:
     out = subprocess.run(
-        [sys.executable, "-c", _RSS_CHILD_CODE, mode],
-        check=True, capture_output=True, text=True, env=env,
+        [sys.executable, "-c", code, mode],
+        check=True, capture_output=True, text=True, env=_child_env(),
     )
     return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def _run_rss_probe(mode: str) -> dict:
+    return _run_probe(_RSS_CHILD_CODE, mode)
+
+
+def check_telemetry_overhead(tolerance: float, rounds: int = 3) -> list:
+    """Telemetry-on wall time must stay within ``tolerance`` of telemetry-off.
+
+    The probes are interleaved (off, on, off, on, ...) on the same machine
+    and the best (minimum) time per mode is compared, so machine noise
+    cancels instead of masquerading as overhead.
+    """
+    off_times, on_times = [], []
+    off = on = None
+    for _ in range(rounds):
+        off = _run_probe(_TELEMETRY_CHILD_CODE, "off")
+        on = _run_probe(_TELEMETRY_CHILD_CODE, "on")
+        off_times.append(off["elapsed_s"])
+        on_times.append(on["elapsed_s"])
+    if off["receipts"] != on["receipts"] or on["telemetry"] is not True:
+        return [f"telemetry probe: runs diverged "
+                f"({on['receipts']} receipts with telemetry vs {off['receipts']} without)"]
+    best_off, best_on = min(off_times), min(on_times)
+    ratio = best_on / best_off
+    print(f"\ntelemetry overhead (300 s Grid surge elastic run, best of {rounds}): "
+          f"off {best_off:.3f}s, on {best_on:.3f}s ({ratio:.3f}x, "
+          f"budget {1 + tolerance:.2f}x)")
+    if ratio > 1.0 + tolerance:
+        return [f"telemetry overhead: {ratio:.3f}x the telemetry-off wall time "
+                f"(tolerance {1 + tolerance:.2f}x)"]
+    return []
 
 
 def check_rss(tolerance: float) -> list:
@@ -126,6 +189,12 @@ def main() -> int:
                         help="also assert columnar peak RSS <= classic peak RSS")
     parser.add_argument("--rss-tolerance", type=float, default=0.10,
                         help="allowed relative RSS overhead for the columnar run")
+    parser.add_argument("--check-telemetry-overhead", action="store_true",
+                        dest="check_telemetry_overhead",
+                        help="also assert a telemetry-on run stays within "
+                             "--telemetry-tolerance of the telemetry-off wall time")
+    parser.add_argument("--telemetry-tolerance", type=float, default=0.05,
+                        help="allowed relative wall-time overhead with telemetry on")
     args = parser.parse_args()
 
     if not args.current.exists():
@@ -172,6 +241,9 @@ def main() -> int:
 
     if args.check_rss:
         failures.extend(check_rss(args.rss_tolerance))
+
+    if args.check_telemetry_overhead:
+        failures.extend(check_telemetry_overhead(args.telemetry_tolerance))
 
     if failures:
         print("\nperformance regression gate FAILED:", file=sys.stderr)

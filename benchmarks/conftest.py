@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import json
 import os
-import platform
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -88,13 +87,13 @@ def write_bench_engine_json() -> Path:
         from repro.metrics.log import HAVE_COLUMNAR  # the gate's throughput
     except Exception:  # floors only apply when it was
         HAVE_COLUMNAR = False
-    payload = {
-        "schema": "repro-bench-engine/1",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "columnar": bool(HAVE_COLUMNAR),
-        "benchmarks": benchmarks,
-    }
+    from repro.metrics.metadata import run_metadata
+
+    payload = run_metadata(
+        "repro-bench-engine/1",
+        columnar=bool(HAVE_COLUMNAR),
+        benchmarks=benchmarks,
+    )
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     BENCH_ENGINE_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return BENCH_ENGINE_PATH

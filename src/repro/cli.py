@@ -10,6 +10,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro multi --dags traffic,grid --strategy ccr
     python -m repro shard --dag grid --shards 4 --workers 2
     python -m repro chaos --dag grid-keyed --strategy dsm --storms 3
+    python -m repro trace elastic --dag grid
     python -m repro figure table1
     python -m repro figure fig5 --scaling out --jobs 4
     python -m repro figure drain
@@ -27,7 +28,10 @@ cost comparison; ``multi`` hosts several dataflows as tenants of one shared,
 budget-arbitrated fleet (offset surges) and compares every tenant against
 its private-fleet baseline; ``chaos`` fires a deterministic spot-eviction
 storm at the fleet and compares notice-aware draining against oblivious
-unplanned recovery on restore latency, replays and the bill; ``figure``
+unplanned recovery on restore latency, replays and the bill; ``trace`` runs
+one scenario with full telemetry and exports its control-plane trace
+(schema-versioned JSONL plus a Perfetto-loadable Chrome trace; the same
+export rides ``--trace`` on elastic/predict/chaos/multi/shard); ``figure``
 regenerates one of the paper's
 tables/figures (the same drivers the benchmark harness uses, ``--jobs N``
 fans the experiment matrix out across processes) and prints the reproduced
@@ -37,7 +41,9 @@ rows next to the paper's published values.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.dataflow import topologies
@@ -105,6 +111,92 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_path(base: str, label: str = "") -> str:
+    """Derive a per-label trace path: ``TRACE_x.jsonl`` -> ``TRACE_x.<label>.jsonl``."""
+    if not label:
+        return base
+    stem, dot, ext = base.rpartition(".")
+    if not dot:
+        return f"{base}.{label}"
+    return f"{stem}.{label}.{ext}"
+
+
+def _export_trace(telemetry, out: str, label: str = "") -> None:
+    """Write one telemetry object as JSONL + Chrome trace and print its digest."""
+    from repro.obs import summarize, write_chrome_trace, write_trace_jsonl
+
+    path = _trace_path(out, label)
+    jsonl = write_trace_jsonl(telemetry, path)
+    chrome_name = str(jsonl)
+    if chrome_name.endswith(".jsonl"):
+        chrome_name = chrome_name[: -len(".jsonl")] + ".chrome.json"
+    else:
+        chrome_name += ".chrome.json"
+    chrome = write_chrome_trace(telemetry, chrome_name)
+    print()
+    if label:
+        print(f"--- trace: {label} ---")
+    print(summarize(telemetry))
+    print(f"[trace written to {jsonl}; load {chrome} at ui.perfetto.dev]")
+
+
+def _multi_telemetry(result, duration_s: float):
+    """Synthesize a multi-tenant trace from the run's typed records.
+
+    Tenant simulations run inside the cluster manager, so there is no live
+    tracer; migrations and arbitration verdicts are reconstructed from the
+    per-tenant ScalingActions and the arbiter's audit log.
+    """
+    from repro.obs import Telemetry
+
+    shared = result.shared
+    telemetry = Telemetry()
+    telemetry.meta.update(
+        scenario="multi",
+        duration_s=duration_s,
+        budget_slots=shared.budget_slots,
+        tenants=sorted(shared.tenants),
+    )
+    for name in sorted(shared.tenants):
+        telemetry.record_actions(shared.tenants[name].actions, now=duration_s, tenant=name)
+    telemetry.record_arbiter(shared.manager.arbiter)
+    return telemetry
+
+
+def _shard_telemetry(result, dag: str, strategy: str, shards: int, elastic: bool):
+    """Synthesize a sharded-run trace from per-shard summaries + planned actions."""
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry()
+    telemetry.meta.update(
+        scenario="shard",
+        dag=dag,
+        strategy=strategy,
+        shards=shards,
+        workers=result.workers,
+        digest=result.digest,
+    )
+    for res in result.results:
+        for key in ("source_emits", "sink_receipts", "distinct_roots_received"):
+            telemetry.registry.counter("shard", key, shard=str(res.index)).set_total(
+                int(res.summary.get(key, 0))
+            )
+    if elastic:
+        for action in result.actions:
+            telemetry.tracer.emit(
+                f"plan.{action.direction}",
+                "plan",
+                action.decided_at,
+                action.decided_at,
+                direction=action.direction,
+                from_tier=action.from_tier,
+                to_tier=action.to_tier,
+                observed_rate_ev_s=action.observed_rate,
+                vm_counts={name: count for name, count in action.vm_counts},
+            )
+    return telemetry
+
+
 def _cmd_elastic(args: argparse.Namespace) -> int:
     if args.duration <= 0:
         print("repro elastic: error: --duration must be positive", file=sys.stderr)
@@ -125,6 +217,7 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
         duration_s=args.duration,
         seed=args.seed,
         controller_config=controller_config,
+        telemetry=bool(args.trace),
     )
 
     print(f"Elastic run: {args.dag} / {args.strategy} / profile={args.profile} "
@@ -181,6 +274,8 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
         print(f"  {record.vm_id:12s} {record.vm_type:3s} {status:9s} "
               f"cost {record.cost(result.runtime.sim.now):8.4f}")
     print(f"  total: {result.total_cost:.4f}")
+    if args.trace:
+        _export_trace(result.telemetry, args.trace)
     return 0
 
 
@@ -253,6 +348,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         seed=args.seed,
         slo_latency_s=args.slo,
         placement=args.placement,
+        telemetry=bool(args.trace),
     )
 
     window = ""
@@ -288,6 +384,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     if args.json:
         path = result.write_headline_json(args.json)
         print(f"\n[headline numbers written to {path}]")
+    if args.trace:
+        for policy, telemetry in result.telemetries.items():
+            _export_trace(telemetry, args.trace, label=policy)
     return 0
 
 
@@ -360,6 +459,21 @@ def _cmd_multi(args: argparse.Namespace) -> int:
     print(util)
     print(f"  total cost          {shared.total_cost:8.4f}"
           + (f"  vs {result.private_total_cost:8.4f} private" if result.private else ""))
+    if args.audit_json:
+        arbiter = shared.manager.arbiter
+        payload = {
+            "schema": "repro-audit/1",
+            "budget_slots": arbiter.budget_slots,
+            "max_committed_slots": arbiter.max_committed_slots,
+            "records": [record.as_dict() for record in arbiter.log],
+            "aborts": [record.as_dict() for record in arbiter.aborts],
+        }
+        path = Path(args.audit_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"\n[arbitration audit written to {path}]")
+    if args.trace:
+        _export_trace(_multi_telemetry(result, args.duration), args.trace)
     return 0
 
 
@@ -424,6 +538,11 @@ def _cmd_shard(args: argparse.Namespace) -> int:
         else:
             print("Planned scaling actions: none (offered rate stayed in band)")
     print(f"\nmerged log digest: {result.digest}")
+    if args.trace:
+        _export_trace(
+            _shard_telemetry(result, args.dag, args.strategy, args.shards, args.elastic),
+            args.trace,
+        )
     return 0
 
 
@@ -450,6 +569,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         storm_start_s=args.storm_start,
         storm_spacing_s=args.storm_spacing,
         notice_s=args.notice,
+        telemetry=bool(args.trace),
     )
 
     print(f"Chaos run: {args.dag} / {args.strategy} / {args.storms} spot evictions "
@@ -480,6 +600,82 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.json:
         path = result.write_headline_json(args.json)
         print(f"\n[headline numbers written to {path}]")
+    if args.trace:
+        for mode, summary in result.runs.items():
+            if summary.result.telemetry is not None:
+                _export_trace(summary.result.telemetry, args.trace, label=mode)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one scenario with full telemetry and export its trace."""
+    scenario = args.scenario
+    out = args.out or f"results/TRACE_{scenario}.jsonl"
+    duration = args.duration if args.duration is not None else (
+        120.0 if scenario == "shard" else 600.0
+    )
+    if duration <= 0:
+        print("repro trace: error: --duration must be positive", file=sys.stderr)
+        return 2
+    if scenario == "elastic":
+        result = run_elastic_experiment(
+            dag=args.dag or "grid",
+            strategy=args.strategy or "ccr",
+            profile=args.profile,
+            duration_s=duration,
+            seed=args.seed,
+            telemetry=True,
+        )
+        _export_trace(result.telemetry, out)
+    elif scenario == "predict":
+        result = run_predictive_experiment(
+            dag=args.dag or "grid",
+            strategy=args.strategy or "ccr",
+            profile=args.profile,
+            surge_multiplier=args.surge,
+            duration_s=duration,
+            seed=args.seed,
+            telemetry=True,
+        )
+        for policy, telemetry in result.telemetries.items():
+            _export_trace(telemetry, out, label=policy)
+    elif scenario == "chaos":
+        result = run_chaos_experiment(
+            dag=args.dag or "grid-keyed",
+            strategy=args.strategy or "dsm",
+            duration_s=duration,
+            seed=args.seed,
+            telemetry=True,
+        )
+        for mode, summary in result.runs.items():
+            if summary.result.telemetry is not None:
+                _export_trace(summary.result.telemetry, out, label=mode)
+    elif scenario == "multi":
+        dags = [d.strip() for d in (args.dag or "traffic,grid").split(",") if d.strip()]
+        result = run_multi_experiment(
+            dags=dags,
+            strategy=args.strategy or "ccr",
+            duration_s=duration,
+            surge_multiplier=args.surge,
+            seed=args.seed,
+            include_private_baseline=False,
+        )
+        _export_trace(_multi_telemetry(result, duration), out)
+    else:  # shard
+        shards = 4
+        result = run_sharded_elastic_experiment(
+            dag=args.dag or "grid",
+            shards=shards,
+            duration_s=duration,
+            seed=args.seed,
+            strategy=args.strategy or "dcr",
+            profile=args.profile,
+        )
+        _export_trace(
+            _shard_telemetry(result, args.dag or "grid", args.strategy or "dcr",
+                             shards, elastic=True),
+            out,
+        )
     return 0
 
 
@@ -537,6 +733,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_trace_flag(sub_parser: argparse.ArgumentParser, name: str) -> None:
+    sub_parser.add_argument(
+        "--trace", nargs="?", const=f"results/TRACE_{name}.jsonl", default=None,
+        metavar="PATH",
+        help="run with full telemetry and write the control-plane trace to PATH "
+             f"(default: results/TRACE_{name}.jsonl) plus a Perfetto-loadable "
+             ".chrome.json next to it",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
@@ -570,6 +776,7 @@ def build_parser() -> argparse.ArgumentParser:
     elastic.add_argument("--cooldown", type=float, default=60.0,
                          help="quiet period after a migration before the next one (seconds)")
     elastic.add_argument("--seed", type=int, default=2018)
+    _add_trace_flag(elastic, "elastic")
     elastic.set_defaults(func=_cmd_elastic)
 
     rescale = sub.add_parser(
@@ -610,6 +817,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the headline numbers to this JSON file "
                               "(fed into the CI perf-trend accumulation)")
     predict.add_argument("--seed", type=int, default=2018)
+    _add_trace_flag(predict, "predict")
     predict.set_defaults(func=_cmd_predict)
 
     multi = sub.add_parser(
@@ -639,7 +847,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "partially-free shared VMs instead of provisioning a fresh fleet")
     multi.add_argument("--no-baseline", action="store_true", dest="no_baseline",
                        help="skip the per-tenant private-fleet baseline runs")
+    multi.add_argument("--audit-json", default="", dest="audit_json", metavar="PATH",
+                       help="write the arbiter's structured audit log (every proposal "
+                            "and abort with its verdict and budget position) to this "
+                            "JSON file")
     multi.add_argument("--seed", type=int, default=2018)
+    _add_trace_flag(multi, "multi")
     multi.set_defaults(func=_cmd_multi)
 
     shard = sub.add_parser(
@@ -665,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--profile", default="surge",
                        help="rate-profile preset for --elastic runs (default: surge)")
     shard.add_argument("--seed", type=int, default=2018)
+    _add_trace_flag(shard, "shard")
     shard.set_defaults(func=_cmd_shard)
 
     chaos = sub.add_parser(
@@ -689,7 +903,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the headline numbers to this JSON file "
                             "(fed into the CI perf-trend accumulation)")
     chaos.add_argument("--seed", type=int, default=2018)
+    _add_trace_flag(chaos, "chaos")
     chaos.set_defaults(func=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one scenario with full telemetry and export its trace "
+             "(JSONL + Perfetto-loadable Chrome trace)",
+    )
+    trace.add_argument("scenario", choices=("elastic", "predict", "chaos", "multi", "shard"))
+    trace.add_argument("--dag", default=None,
+                       help="dataflow (default: the scenario's own default; "
+                            "comma-separated tenant list for multi)")
+    trace.add_argument("--strategy", default=None, choices=("dsm", "dcr", "ccr"))
+    trace.add_argument("--profile", default="surge",
+                       help="rate-profile preset for elastic/predict/shard")
+    trace.add_argument("--surge", type=float, default=2.0,
+                       help="surge multiplier for predict/multi scenarios")
+    trace.add_argument("--duration", type=float, default=None,
+                       help="simulated run time (default: 600s; 120s per shard)")
+    trace.add_argument("--seed", type=int, default=2018)
+    trace.add_argument("--out", default="", metavar="PATH",
+                       help="trace JSONL path (default: results/TRACE_<scenario>.jsonl)")
+    trace.set_defaults(func=_cmd_trace)
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's tables/figures")
     figure.add_argument("name", choices=("table1", "fig5", "fig6", "fig7", "fig8", "fig9",

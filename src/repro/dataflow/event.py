@@ -73,9 +73,10 @@ def reset_event_ids() -> None:
     and a hermetic run (shard workers, equivalence tests) must not observe
     objects left over from a previous run.
     """
-    global _EVENT_ID_COUNTER
+    global _EVENT_ID_COUNTER, _POOL_RECYCLED
     _EVENT_ID_COUNTER = itertools.count(1)
     _EVENT_POOL.clear()
+    _POOL_RECYCLED = 0
 
 
 #: Free list of dead Event objects available for reuse by copy_for_edge().
@@ -84,6 +85,15 @@ def reset_event_ids() -> None:
 #: allocation site.  Bounded so a burst cannot pin memory forever.
 _EVENT_POOL: list = []
 _EVENT_POOL_MAX = 512
+
+#: Lifetime count of events returned to the pool; scraped by the telemetry
+#: layer and reset alongside the ids in reset_event_ids().
+_POOL_RECYCLED = 0
+
+
+def pool_recycled_total() -> int:
+    """Lifetime number of event objects returned to the recycle pool."""
+    return _POOL_RECYCLED
 
 
 def recycle_event(event: "Event") -> None:
@@ -95,8 +105,10 @@ def recycle_event(event: "Event") -> None:
     the pool never keeps user data alive.
     """
     if len(_EVENT_POOL) < _EVENT_POOL_MAX and not event.anchored:
+        global _POOL_RECYCLED
         event.payload = None
         _EVENT_POOL.append(event)
+        _POOL_RECYCLED += 1
 
 
 @dataclass(slots=True)

@@ -323,6 +323,9 @@ class ElasticityController:
         self._pending_count = 0
         self._migration_in_flight = False
         self._cooldown_until = float("-inf")
+        # Open tick span handed from _tick to _enact (telemetry on only), so
+        # the place/act stage spans parent under the tick that caused them.
+        self._tick_span = None
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -348,37 +351,107 @@ class ElasticityController:
 
     # ------------------------------------------------------------ control loop
     def _tick(self) -> None:
-        # Stage 1: sense.  The forecast policy observes *every* reading --
-        # including ticks skipped below -- so its series has no gaps.
-        reading = self.pipeline.sense()
-        self.pipeline.observe(reading)
-        sample = reading.sample
-        if self._migration_in_flight or sample.sources_paused:
-            return
+        telemetry = self.runtime.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        now = self.runtime.sim.now
+        tick_span = None
+        if tracer is not None:
+            tick_span = tracer.begin("controller.tick", "control", now, tier=self.tier)
+            self._tick_span = tick_span
+            telemetry.sample_queues(self.runtime)
+        try:
+            # Stage 1: sense.  The forecast policy observes *every* reading --
+            # including ticks skipped below -- so its series has no gaps.
+            reading = self.pipeline.sense()
+            self.pipeline.observe(reading)
+            sample = reading.sample
+            if tracer is not None:
+                tracer.emit(
+                    "sense", "control.stage", now, now, parent=tick_span,
+                    input_rate_ev_s=sample.input_rate,
+                    offered_rate_ev_s=sample.offered_rate,
+                    output_rate_ev_s=sample.output_rate,
+                    avg_latency_s=sample.avg_latency_s,
+                    queue_backlog=sample.queue_backlog,
+                    source_backlog=sample.source_backlog,
+                    sources_paused=sample.sources_paused,
+                    slo_breached=reading.slo_breached,
+                )
+            if self._migration_in_flight or sample.sources_paused:
+                if tracer is not None:
+                    reason = (
+                        "migration-in-flight" if self._migration_in_flight else "sources-paused"
+                    )
+                    for stage in ("forecast", "plan", "place", "act"):
+                        tracer.emit(
+                            stage, "control.stage", now, now,
+                            parent=tick_span, skipped=reason,
+                        )
+                    tracer.end(tick_span, now, outcome="skipped", reason=reason)
+                return
 
-        # Stages 2+3: forecast the demand and size the target allocation.
-        decision = self.pipeline.decide(reading, current_tier=self.tier)
-        target = decision.target
-        # A change is pending when the tier moves *or* the demand calls for a
-        # parallelism change within the same tier (e.g. a second surge on an
-        # already-expanded deployment still has to add instances).
-        if target.tier == self.tier and target.rescale is None:
-            self._pending_tier = None
-            self._pending_count = 0
-            return
-
-        if target.tier != self._pending_tier:
-            self._pending_tier = target.tier
-            self._pending_count = 1
-        else:
-            self._pending_count += 1
-        if self._pending_count < self.config.confirm_samples:
-            return
-        if self.runtime.sim.now < self._cooldown_until:
-            return
-        if self._direction_of(target) == "in" and self._drain_guard_holds(sample):
-            return
-        self._enact(decision, sample)
+            # Stages 2+3: forecast the demand and size the target allocation.
+            decision = self.pipeline.decide(reading, current_tier=self.tier)
+            target = decision.target
+            # A change is pending when the tier moves *or* the demand calls
+            # for a parallelism change within the same tier (e.g. a second
+            # surge on an already-expanded deployment still has to add
+            # instances).
+            outcome: Optional[str] = None
+            if target.tier == self.tier and target.rescale is None:
+                self._pending_tier = None
+                self._pending_count = 0
+                outcome = "in-band"
+            else:
+                if target.tier != self._pending_tier:
+                    self._pending_tier = target.tier
+                    self._pending_count = 1
+                else:
+                    self._pending_count += 1
+                if self._pending_count < self.config.confirm_samples:
+                    outcome = "hysteresis"
+                elif self.runtime.sim.now < self._cooldown_until:
+                    outcome = "cooldown"
+                elif self._direction_of(target) == "in" and self._drain_guard_holds(sample):
+                    outcome = "drain-guard"
+            if tracer is not None:
+                forecast = decision.forecast
+                tracer.emit(
+                    "forecast", "control.stage", now, now, parent=tick_span,
+                    observed_rate_ev_s=forecast.observed_rate_ev_s,
+                    forecast_rate_ev_s=forecast.rate_ev_s,
+                    horizon_s=forecast.horizon_s,
+                )
+                tracer.emit(
+                    "plan", "control.stage", now, now, parent=tick_span,
+                    current_tier=self.tier,
+                    target_tier=target.tier,
+                    rescale=(
+                        dict(sorted(target.rescale.targets.items()))
+                        if target.rescale is not None
+                        else None
+                    ),
+                    slo_escalated=decision.slo_escalated,
+                    pending_count=self._pending_count,
+                    outcome=outcome if outcome is not None else "enact",
+                )
+            if outcome is not None:
+                if tracer is not None:
+                    for stage in ("place", "act"):
+                        tracer.emit(
+                            stage, "control.stage", now, now,
+                            parent=tick_span, skipped=outcome,
+                        )
+                    tracer.end(tick_span, now, outcome=outcome)
+                return
+            self._enact(decision, sample)
+            if tracer is not None:
+                tracer.end(
+                    tick_span, now,
+                    outcome="enacted" if self._migration_in_flight else "deferred",
+                )
+        finally:
+            self._tick_span = None
 
     def _direction_of(self, target: TargetAllocation) -> str:
         """``out`` (adding capacity) or ``in`` (consolidating) for a target."""
@@ -404,11 +477,21 @@ class ElasticityController:
 
     # -------------------------------------------------------------- enactment
     def _enact(self, decision: PlanDecision, sample: MonitorSample) -> None:
+        telemetry = self.runtime.telemetry
+        tracer = telemetry.tracer if telemetry is not None else None
+        now = self.runtime.sim.now
         target = decision.target
         direction = self._direction_of(target)
         # Stage 4: place.  The place stage decides what to provision fresh
         # and which of the current worker VMs keep serving.
         request = self.pipeline.place.provisioning(self.runtime, target, direction)
+        if tracer is not None:
+            tracer.emit(
+                "place", "control.stage", now, now, parent=self._tick_span,
+                direction=direction,
+                provision_counts=dict(sorted(request.vm_counts.items())),
+                kept_vm_ids=sorted(request.keep_vm_ids),
+            )
         action = ScalingAction(
             direction=direction,
             from_tier=self.tier,
@@ -424,7 +507,21 @@ class ElasticityController:
         if not self._acquire_capacity(action):
             # Capacity withheld (an arbiter deferred us): keep the confirmed
             # pending state so the next tick proposes again.
+            if tracer is not None:
+                tracer.emit(
+                    "act", "control.stage", now, now,
+                    parent=self._tick_span, outcome="deferred",
+                )
             return
+        if tracer is not None:
+            tracer.emit(
+                "act", "control.stage", now, now, parent=self._tick_span,
+                outcome="provisioned",
+                direction=direction,
+                from_tier=action.from_tier,
+                to_tier=action.to_tier,
+                provisioned_vm_ids=sorted(action.provisioned_vm_ids),
+            )
         self.actions.append(action)
         self._migration_in_flight = True
         self._pending_tier = None

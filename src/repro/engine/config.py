@@ -146,6 +146,11 @@ class RuntimeConfig:
     #: recorded against the classic row store.  Ignored (falls back to the
     #: classic log) when numpy is unavailable.
     columnar_log: bool = False
+    #: Create a :class:`repro.obs.Telemetry` on the runtime (metrics registry
+    #: + control-plane span tracer, see :mod:`repro.obs`).  Off by default:
+    #: with the flag off ``runtime.telemetry`` is ``None`` and every
+    #: instrumentation site reduces to one attribute check.
+    telemetry: bool = False
 
     def copy(self) -> "RuntimeConfig":
         """Return an independent copy of this configuration."""
@@ -159,6 +164,7 @@ class RuntimeConfig:
             batch_stepping=self.batch_stepping,
             batch_vectorize=self.batch_vectorize,
             columnar_log=self.columnar_log,
+            telemetry=self.telemetry,
         )
 
     @classmethod

@@ -58,6 +58,11 @@ class Router:
         self._shuffle_counters: Dict[Tuple[str, str], int] = {}
         self._last_delivery: Dict[Tuple[str, str], float] = {}
         self.routed_count = 0
+        #: Telemetry tallies (plain ints, scraped post-hoc): route() calls,
+        #: route-plan cache misses, and coalesced same-channel batch callbacks.
+        self.route_calls = 0
+        self.plan_builds = 0
+        self.batched_deliveries = 0
         #: task name -> tuple of (edge, destination instances, grouping, instance count).
         self._route_plans: Dict[str, Tuple[Tuple[Edge, Tuple[str, ...], Grouping, int], ...]] = {}
         #: (sender, receiver) -> base (un-jittered) transfer latency.
@@ -101,6 +106,7 @@ class Router:
             plan.append((edge, instances, edge.grouping, len(instances)))
         plan = tuple(plan)
         self._route_plans[task_name] = plan
+        self.plan_builds += 1
         return plan
 
     # --------------------------------------------------------------- routing
@@ -118,6 +124,7 @@ class Router:
         """
         if not events:
             return
+        self.route_calls += 1
         plan = self._route_plans.get(task_name)
         if plan is None:
             plan = self._build_plan(task_name)
@@ -256,6 +263,7 @@ class Router:
                     )
                 else:
                     # One callback walks the channel's FIFO-ordered times.
+                    self.batched_deliveries += 1
                     schedule_at_fast(
                         pairs[0][0], self._deliver_batch, (target_executor_id, sender_executor_id, pairs, 0)
                     )

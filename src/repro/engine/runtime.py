@@ -169,6 +169,13 @@ class TopologyRuntime:
         self._wave_targets: Dict[int, Set[str]] = {}
         #: Records of VM failures handled by :meth:`fail_vm`.
         self.vm_failures: List[VMFailureRecord] = []
+        #: Telemetry facade (metrics registry + span tracer), or ``None`` when
+        #: ``config.telemetry`` is off -- instrumentation sites guard on this.
+        self.telemetry = None
+        if self.config.telemetry:
+            from ..obs import Telemetry
+
+            self.telemetry = Telemetry()
 
     # ------------------------------------------------------------ properties
     @property

@@ -99,6 +99,11 @@ class ChaosRunResult:
         return self.runtime.log
 
     @property
+    def telemetry(self):
+        """The run's :class:`repro.obs.Telemetry`, or ``None`` when off."""
+        return self.runtime.telemetry
+
+    @property
     def total_cost(self) -> float:
         """Total accrued cloud cost at the end of the run."""
         return self.provider.total_cost()
@@ -240,17 +245,22 @@ class ChaosComparisonResult:
             benchmarks[f"chaos_{key}_cost_usd"] = {"mean_s": summary.total_cost}
         return benchmarks
 
-    def write_headline_json(self, path: Union[str, Path]) -> Path:
+    def write_headline_json(
+        self, path: Union[str, Path], timestamp: Optional[str] = None
+    ) -> Path:
         """Write the headline numbers for the CI perf-trend accumulation."""
-        payload = {
-            "schema": "repro-bench-chaos/1",
-            "dag": self.dag,
-            "strategy": self.strategy,
-            "duration_s": self.duration_s,
-            "storm_count": self.storm_count,
-            "notice_s": self.notice_s,
-            "benchmarks": self.headline_benchmarks(),
-        }
+        from ..metrics.metadata import run_metadata
+
+        payload = run_metadata(
+            "repro-bench-chaos/1",
+            timestamp=timestamp,
+            dag=self.dag,
+            strategy=self.strategy,
+            duration_s=self.duration_s,
+            storm_count=self.storm_count,
+            notice_s=self.notice_s,
+            benchmarks=self.headline_benchmarks(),
+        )
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -284,6 +294,7 @@ def run_chaos_run(
     spot_market: Optional[SpotMarket] = None,
     provisioning: Optional[ProvisioningModel] = None,
     schedule: Optional[ChaosSchedule] = None,
+    telemetry: bool = False,
 ) -> ChaosRunResult:
     """Ride one eviction storm in one recovery mode.
 
@@ -325,6 +336,8 @@ def run_chaos_run(
         # mix so flag variants share their random streams.
         config = config.copy()
         config.seed = mixed
+    if telemetry:
+        config.telemetry = True
     if config.reliability.periodic_checkpoint_interval_s is None:
         # Unplanned recovery restores keyed state from the last *committed*
         # checkpoint; without a periodic wave DCR/CCR would only checkpoint
@@ -392,6 +405,20 @@ def run_chaos_run(
     finally:
         runtime.stop_sources()
 
+    if runtime.telemetry is not None:
+        runtime.telemetry.meta.update(
+            scenario="chaos",
+            dag=dag,
+            strategy=strategy,
+            mode=mode,
+            seed=seed,
+            duration_s=duration_s,
+            storm_count=storm_count,
+            notice_s=notice_s,
+        )
+        runtime.telemetry.finalize(
+            runtime=runtime, controller=controller, provider=provider, injector=injector
+        )
     return ChaosRunResult(
         spec=spec,
         dataflow=dataflow,
@@ -438,6 +465,7 @@ def run_chaos_experiment(
     notice_s: float = 120.0,
     jitter_s: float = 15.0,
     config: Optional[RuntimeConfig] = None,
+    telemetry: bool = False,
 ) -> ChaosComparisonResult:
     """Ride the same eviction storm once per recovery mode and compare.
 
@@ -467,6 +495,7 @@ def run_chaos_experiment(
             notice_s=notice_s,
             jitter_s=jitter_s,
             config=config,
+            telemetry=telemetry,
         )
         comparison.runs[mode] = _summarize(result)
     return comparison

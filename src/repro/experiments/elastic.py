@@ -83,6 +83,11 @@ class ElasticRunResult:
         return self.runtime.log
 
     @property
+    def telemetry(self):
+        """The run's :class:`repro.obs.Telemetry`, or ``None`` when off."""
+        return self.runtime.telemetry
+
+    @property
     def actions(self) -> List[ScalingAction]:
         """All scaling actions the controller enacted, in time order."""
         return self.controller.actions
@@ -147,6 +152,7 @@ def run_elastic_experiment(
     elastic_parallelism: bool = False,
     task_capacities_ev_s: Optional[dict] = None,
     forecast_policy: Optional[Union[str, ForecastPolicy]] = None,
+    telemetry: bool = False,
 ) -> ElasticRunResult:
     """Run one closed-loop elastic experiment.
 
@@ -193,6 +199,9 @@ def run_elastic_experiment(
     strategy_cls = strategy_by_name(strategy)
     if config is None:
         config = strategy_cls.runtime_config(seed=_mix_seed(spec))
+    if telemetry and not config.telemetry:
+        config = config.copy()
+        config.telemetry = True
 
     sim = Simulator()
     dataflow = dataflow if dataflow is not None else topologies.by_name(dag)
@@ -287,6 +296,18 @@ def run_elastic_experiment(
         for source, original_profile in original_profiles:
             source.profile = original_profile
 
+    if runtime.telemetry is not None:
+        runtime.telemetry.meta.update(
+            scenario="elastic",
+            dag=dag,
+            strategy=strategy,
+            profile=profile_name,
+            seed=seed,
+            duration_s=duration_s,
+        )
+        runtime.telemetry.finalize(
+            runtime=runtime, controller=controller, provider=provider
+        )
     return ElasticRunResult(
         spec=spec,
         dataflow=dataflow,

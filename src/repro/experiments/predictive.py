@@ -89,6 +89,9 @@ class PredictiveComparisonResult:
     surge_end_s: Optional[float]
     #: Policy name -> its run summary, in requested order.
     runs: Dict[str, PredictiveRunSummary] = field(default_factory=dict)
+    #: Policy name -> the run's :class:`repro.obs.Telemetry` (telemetry runs
+    #: only; empty otherwise).
+    telemetries: Dict[str, object] = field(default_factory=dict)
 
     @property
     def reactive(self) -> Optional[PredictiveRunSummary]:
@@ -120,16 +123,21 @@ class PredictiveComparisonResult:
             for summary in self.runs.values()
         }
 
-    def write_headline_json(self, path: Union[str, Path]) -> Path:
+    def write_headline_json(
+        self, path: Union[str, Path], timestamp: Optional[str] = None
+    ) -> Path:
         """Write the headline numbers for the CI perf-trend accumulation."""
-        payload = {
-            "schema": "repro-bench-predictive/1",
-            "dag": self.dag,
-            "strategy": self.strategy,
-            "profile": self.profile,
-            "slo_latency_s": self.slo_latency_s,
-            "benchmarks": self.headline_benchmarks(),
-        }
+        from ..metrics.metadata import run_metadata
+
+        payload = run_metadata(
+            "repro-bench-predictive/1",
+            timestamp=timestamp,
+            dag=self.dag,
+            strategy=self.strategy,
+            profile=self.profile,
+            slo_latency_s=self.slo_latency_s,
+            benchmarks=self.headline_benchmarks(),
+        )
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -203,6 +211,7 @@ def run_predictive_experiment(
     controller_config: Optional[ControllerConfig] = None,
     elastic_parallelism: bool = True,
     placement: str = "incremental",
+    telemetry: bool = False,
 ) -> PredictiveComparisonResult:
     """Compare forecast policies head to head on one dynamism scenario.
 
@@ -252,7 +261,11 @@ def run_predictive_experiment(
             instance_capacity_ev_s=instance_capacity_ev_s,
             elastic_parallelism=elastic_parallelism,
             forecast_policy=policy,
+            telemetry=telemetry,
         )
         comparison.runs[policy] = _summarize(policy, result, slo_latency_s, surge_start)
+        if result.telemetry is not None:
+            result.telemetry.meta.update(policy=policy, scenario="predict")
+            comparison.telemetries[policy] = result.telemetry
     assert comparison is not None
     return comparison

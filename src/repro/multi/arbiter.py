@@ -99,7 +99,9 @@ class InFlightMigration:
 
 @dataclass(frozen=True)
 class ProposalRecord:
-    """Audit-log entry for one arbitration."""
+    """Audit-log entry for one arbitration: who asked, the verdict, and the
+    budget position before/after, so contention is greppable (``repro multi
+    --audit-json``) instead of reconstructed from prose logs."""
 
     time: float
     tenant_id: str
@@ -107,6 +109,25 @@ class ProposalRecord:
     slots_requested: int
     granted: bool
     reason: str
+    #: Committed slots (physical fleet + reservations) before / after the
+    #: verdict was applied, against the cluster-wide budget.
+    committed_before: int = 0
+    committed_after: int = 0
+    budget_slots: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for JSON export."""
+        return {
+            "time": self.time,
+            "tenant_id": self.tenant_id,
+            "direction": self.direction,
+            "slots_requested": self.slots_requested,
+            "granted": self.granted,
+            "reason": self.reason,
+            "committed_before": self.committed_before,
+            "committed_after": self.committed_after,
+            "budget_slots": self.budget_slots,
+        }
 
 
 class ScaleArbiter:
@@ -211,6 +232,7 @@ class ScaleArbiter:
             raise ValueError(f"slots must be non-negative, got {slots}")
         me = self.tenants[tenant_id]
 
+        committed_before = self.committed_slots()
         decision = self._decide(me, direction, slots)
         if decision.granted:
             self.waiting.pop(tenant_id, None)
@@ -234,6 +256,9 @@ class ScaleArbiter:
                 slots_requested=slots,
                 granted=decision.granted,
                 reason=decision.reason,
+                committed_before=committed_before,
+                committed_after=self.committed_slots(),
+                budget_slots=self.budget_slots,
             )
         )
         return decision
@@ -301,6 +326,7 @@ class ScaleArbiter:
         single migration token forever, starving every other tenant.  Returns
         the number of reserved slots handed back.
         """
+        committed_before = self.committed_slots()
         migration = self.in_flight.pop(tenant_id, None)
         if migration is None:
             return 0
@@ -313,6 +339,9 @@ class ScaleArbiter:
                 slots_requested=returned,
                 granted=False,
                 reason="aborted",
+                committed_before=committed_before,
+                committed_after=self.committed_slots(),
+                budget_slots=self.budget_slots,
             )
         )
         self._note_committed()

@@ -127,6 +127,10 @@ class Simulator:
         self.run_until: Optional[float] = None
         #: callback -> cohort handler, registered via register_batch_handler().
         self._batch_handlers: dict = {}
+        #: Lifetime tallies scraped by the telemetry layer (plain ints: the
+        #: kernel never calls into a registry on the hot path).
+        self.compactions = 0
+        self.batch_cohorts = 0
 
     # ------------------------------------------------------------------ clock
     @property
@@ -301,6 +305,7 @@ class Simulator:
                             cohort.append(heappop(queue)[3])
                         self.now = time
                         processed += len(cohort)
+                        self.batch_cohorts += 1
                         handler(time, cohort)
                     else:
                         self.now = time
@@ -342,6 +347,7 @@ class Simulator:
         self._queue[:] = live
         heapq.heapify(self._queue)
         self._cancelled_in_heap = 0
+        self.compactions += 1
 
     # ---------------------------------------------------------------- running
     def step(self) -> bool:

@@ -316,3 +316,39 @@ class TestBatchStepperUnderChaos:
         assert results[0].injector.records, "the storm must actually fire"
         assert results[0].digest() == results[1].digest()
         assert results[0].control_sequence() == results[1].control_sequence()
+
+
+# ------------------------------------------------------- telemetry satellite
+class TestFaultTraceExport:
+    def test_every_injected_fault_appears_exactly_once_in_trace(self, tmp_path):
+        # FaultRecords must surface through the trace exporter: one "chaos"
+        # span per injected fault, matched by injector index, no dupes.
+        from repro.obs import validate_trace_jsonl, write_trace_jsonl
+
+        result = run_chaos_run(
+            dag="grid-keyed",
+            strategy="dsm",
+            mode="notice",
+            duration_s=450.0,
+            storm_count=2,
+            telemetry=True,
+        )
+        injected = result.injector.records
+        assert injected, "the storm must actually fire"
+        path = write_trace_jsonl(result.telemetry, tmp_path / "trace.jsonl")
+        records = validate_trace_jsonl(path)
+        fault_spans = [
+            r for r in records
+            if r.get("type") == "span" and r.get("category") == "chaos"
+        ]
+        assert sorted(span["args"]["index"] for span in fault_spans) == sorted(
+            record.index for record in injected
+        )
+        by_index = {span["args"]["index"]: span for span in fault_spans}
+        assert len(by_index) == len(injected)
+        for record in injected:
+            span = by_index[record.index]
+            assert span["name"] == f"fault.{record.event.kind}"
+            assert span["args"]["kind"] == record.event.kind
+            assert span["args"]["vm_id"] == record.vm_id
+            assert span["args"]["outcome"] == record.outcome

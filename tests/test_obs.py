@@ -1,0 +1,280 @@
+"""Unified telemetry layer: registry, tracer, exporters, determinism, inertness.
+
+Covers the observability acceptance criteria end to end:
+
+* registry unit behaviour (get-or-create keying, kind-mismatch and
+  negative-increment guards, deterministic snapshot order);
+* tracer unit behaviour (sequential ids, double-end / end-before-start
+  guards, explicit parenting, canonical content excludes wall clocks);
+* the tentpole integration contract on a Grid 2x surge run: every controller
+  tick span carries exactly the five stage children (sense -> forecast ->
+  plan -> place -> act) with forecast/plan payloads, and a migration span
+  nests its checkpoint-wave span;
+* determinism: same-seed runs produce byte-identical simulated-time
+  (canonical) trace content;
+* inertness: with telemetry off no Telemetry object exists and the event-log
+  digest matches a telemetry-on run bit for bit;
+* exporters: schema-validated JSONL round-trip, validator rejections, Chrome
+  trace structure, text summary;
+* the shared ``run_metadata`` helper used by every ``results/`` JSON writer.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.elastic import run_elastic_experiment
+from repro.metrics.metadata import config_digest, run_metadata
+from repro.obs import (
+    MetricsRegistry,
+    SpanTracer,
+    Telemetry,
+    TRACE_SCHEMA,
+    canonical_trace_text,
+    chrome_trace,
+    summarize,
+    trace_lines,
+    validate_trace_jsonl,
+    write_trace_jsonl,
+)
+from repro.sim.shard import log_digest
+
+STAGES = ["sense", "forecast", "plan", "place", "act"]
+
+
+# ------------------------------------------------------------------ registry
+class TestMetricsRegistry:
+    def test_get_or_create_is_keyed_by_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("router", "deliveries", shard="0")
+        b = registry.counter("router", "deliveries", shard="1")
+        assert a is not b
+        assert registry.counter("router", "deliveries", shard="0") is a
+        assert len(registry) == 2
+
+    def test_kind_mismatch_fails_loudly(self):
+        registry = MetricsRegistry()
+        registry.counter("kernel", "events")
+        with pytest.raises(TypeError, match="already registered as counter"):
+            registry.gauge("kernel", "events")
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("kernel", "events")
+        with pytest.raises(ValueError, match="negative"):
+            counter.inc(-1)
+
+    def test_gauge_tracks_high_water(self):
+        gauge = MetricsRegistry().gauge("executor", "queue_depth")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.high_water == 5
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("checkpoint", "wave_duration_s")
+        assert histogram.mean is None
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean == 2.0
+
+    def test_snapshot_order_is_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("router", "deliveries", shard="1")
+        registry.counter("kernel", "events")
+        registry.gauge("router", "backlog")
+        keys = [(s["subsystem"], s["name"]) for s in registry.snapshot()]
+        assert keys == sorted(keys)
+
+
+# -------------------------------------------------------------------- tracer
+class TestSpanTracer:
+    def test_sequential_ids_and_parenting(self):
+        tracer = SpanTracer(clock=lambda: 0.0)
+        tick = tracer.begin("controller.tick", "control", 15.0)
+        stage = tracer.begin("sense", "control.stage", 15.0, parent=tick)
+        assert (tick.span_id, stage.span_id) == (0, 1)
+        assert stage.parent_id == tick.span_id
+        tracer.end(stage, 15.0)
+        tracer.end(tick, 15.0, outcome="in-band")
+        assert tick.args["outcome"] == "in-band"
+        assert tracer.children_of(tick) == [stage]
+        assert tracer.open_spans() == []
+
+    def test_double_end_and_time_travel_rejected(self):
+        tracer = SpanTracer(clock=lambda: 0.0)
+        span = tracer.begin("x", "control", 10.0)
+        with pytest.raises(ValueError, match="before its start"):
+            tracer.end(span, 5.0)
+        tracer.end(span, 10.0)
+        with pytest.raises(ValueError, match="already ended"):
+            tracer.end(span, 11.0)
+
+    def test_canonical_excludes_wall_clock(self):
+        tracer = SpanTracer(clock=lambda: 1234.5)
+        span = tracer.emit("fault.evict", "chaos", 100.0, 160.0, vm_id="d2-001")
+        canonical = span.canonical()
+        assert "wall_start_s" not in canonical
+        assert "wall_end_s" not in canonical
+        full = span.as_dict()
+        assert full["wall_start_s"] == 1234.5
+        assert full["args"] == {"vm_id": "d2-001"}
+
+
+# --------------------------------------------------- tentpole: grid 2x surge
+def _traced_run():
+    return run_elastic_experiment(
+        dag="grid",
+        strategy="ccr",
+        profile="surge",
+        duration_s=600.0,
+        seed=2018,
+        telemetry=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return _traced_run()
+
+
+class TestControlPlaneTrace:
+    def test_every_tick_has_the_five_stage_children(self, traced):
+        tracer = traced.telemetry.tracer
+        ticks = tracer.by_category("control")
+        assert ticks, "the controller never ticked"
+        for tick in ticks:
+            children = tracer.children_of(tick)
+            stage_children = [c for c in children if c.category == "control.stage"]
+            assert [c.name for c in stage_children] == STAGES
+            assert tick.args.get("outcome") is not None
+
+    def test_stage_spans_carry_forecast_and_plan_payloads(self, traced):
+        tracer = traced.telemetry.tracer
+        stages = tracer.by_category("control.stage")
+        forecasts = [s for s in stages if s.name == "forecast" and "skipped" not in s.args]
+        plans = [s for s in stages if s.name == "plan" and "skipped" not in s.args]
+        assert forecasts and plans
+        for span in forecasts:
+            assert "forecast_rate_ev_s" in span.args
+            assert "observed_rate_ev_s" in span.args
+        for span in plans:
+            assert "target_tier" in span.args
+
+    def test_surge_produces_a_migration_span_nesting_checkpoint_waves(self, traced):
+        tracer = traced.telemetry.tracer
+        migrations = tracer.by_category("migration")
+        assert migrations, "the 2x surge must trigger at least one migration"
+        out = [m for m in migrations if m.name == "migration.out"]
+        assert out
+        children = tracer.children_of(out[0])
+        names = {c.name for c in children}
+        assert any(n.startswith("checkpoint.wave.") for n in names), names
+        assert "checkpoint.prepare" in names
+        assert "rebalance" in names
+
+    def test_registry_scraped_the_engine(self, traced):
+        snapshot = {
+            (s["subsystem"], s["name"]): s
+            for s in traced.telemetry.registry.snapshot()
+            if not s["labels"]
+        }
+        assert snapshot[("kernel", "events_stepped")]["value"] > 0
+        assert snapshot[("router", "deliveries")]["value"] > 0
+        assert snapshot[("router", "route_cache_hits")]["value"] > 0
+
+    def test_same_seed_canonical_trace_is_byte_identical(self, traced):
+        again = _traced_run()
+        assert canonical_trace_text(traced.telemetry) == canonical_trace_text(
+            again.telemetry
+        )
+
+    def test_telemetry_off_is_inert_and_log_digest_matches(self, traced):
+        off = run_elastic_experiment(
+            dag="grid",
+            strategy="ccr",
+            profile="surge",
+            duration_s=600.0,
+            seed=2018,
+            telemetry=False,
+        )
+        assert off.telemetry is None
+        assert off.runtime.telemetry is None
+        assert log_digest(off.log) == log_digest(traced.log)
+
+
+# ----------------------------------------------------------------- exporters
+class TestExporters:
+    def test_jsonl_roundtrip_validates(self, traced, tmp_path):
+        path = write_trace_jsonl(traced.telemetry, tmp_path / "trace.jsonl")
+        records = validate_trace_jsonl(path)
+        header = records[0]
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["scenario"] == "elastic"
+        kinds = {r["type"] for r in records}
+        assert kinds == {"header", "span", "metric"}
+
+    def test_validator_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "span"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="header"):
+            validate_trace_jsonl(path)
+
+    def test_validator_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "header", "schema": "repro-trace/99"}\n', encoding="utf-8")
+        with pytest.raises(ValueError, match="schema"):
+            validate_trace_jsonl(path)
+
+    def test_validator_rejects_dangling_parent(self, tmp_path):
+        telemetry = Telemetry(clock=lambda: 0.0)
+        telemetry.tracer.emit("x", "control", 0.0, 1.0)
+        lines = trace_lines(telemetry)
+        record = json.loads(lines[-1])
+        record["parent_id"] = 999
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines[:-1] + [json.dumps(record)]) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="parent"):
+            validate_trace_jsonl(path)
+
+    def test_chrome_trace_structure(self, traced):
+        payload = chrome_trace(traced.telemetry)
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert complete and metadata
+        first_tick = traced.telemetry.tracer.by_category("control")[0]
+        event = next(
+            e for e in complete if e["args"]["span_id"] == first_tick.span_id
+        )
+        # Simulated seconds ride the microsecond fields Perfetto expects.
+        assert event["name"] == "controller.tick"
+        assert event["ts"] == pytest.approx(first_tick.start_s * 1e6)
+        assert event["dur"] == pytest.approx(
+            (first_tick.end_s - first_tick.start_s) * 1e6
+        )
+        assert {e["name"] for e in metadata} == {"thread_name"}
+        assert payload["otherData"]["schema"] == TRACE_SCHEMA
+
+    def test_summary_mentions_categories_and_metrics(self, traced):
+        text = summarize(traced.telemetry)
+        assert "control" in text
+        assert "migration" in text
+        assert "kernel.events_stepped" in text
+
+
+# ------------------------------------------------------------- run metadata
+class TestRunMetadata:
+    def test_preamble_keys(self):
+        payload = run_metadata("repro-bench-engine/1", seed=7, benchmarks={})
+        assert payload["schema"] == "repro-bench-engine/1"
+        assert payload["seed"] == 7
+        assert "python" in payload and "machine" in payload
+        assert "timestamp" not in payload  # caller-injected only
+        assert payload["benchmarks"] == {}
+
+    def test_config_digest_is_order_independent(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
