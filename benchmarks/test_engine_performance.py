@@ -27,6 +27,7 @@ from repro.metrics.timeline import latency_timeline, rate_timeline
 from repro.sim import Simulator
 
 from tests.conftest import build_cluster, fast_config
+from repro.engine.config import ReliabilityConfig
 from repro.engine.runtime import TopologyRuntime
 
 
@@ -279,6 +280,49 @@ def test_grid_steady_state_columnar_cost(benchmark, engine_bench_recorder):
     # 3200 ev/s at the sink for ~10 s minus pipeline fill.
     assert receipts > 20_000
     engine_bench_recorder("grid_steady_state_columnar", benchmark, events=counts["events"])
+
+
+def test_grid_steady_state_acked_cost(benchmark, engine_bench_recorder):
+    """The 100x-rate Grid steady state with per-tuple acking on.
+
+    Same workload as ``grid_steady_state_columnar`` but every tuple carries a
+    Storm-style XOR ack tree: registered at emission, anchored per routed
+    copy, acked per completion.  Under batch stepping the cascade folds that
+    whole stream per tuple tree with ``bitwise_xor`` reductions and commits
+    it through the acker's bulk APIs.  The committed baseline entry is the
+    *classic* (non-batched) engine measured on this exact acked workload, so
+    ``speedup_vs_seed`` is the vectorized-acking headline.  The timeout is
+    large relative to the run and ``max_spout_pending`` is uncapped (Storm's
+    own default leaves it null) so steady state stays loss-free.
+    """
+    counts = {}
+
+    def simulate():
+        sim = Simulator()
+        cluster = build_cluster(sim, worker_vms=11)
+        config = fast_config("dcr")
+        config.reliability = ReliabilityConfig(
+            ack_all_events=True,
+            ack_timeout_s=30.0,
+            periodic_checkpoint_interval_s=None,
+            capture_on_prepare=False,
+            max_spout_pending=None,
+        )
+        config.batch_stepping = True
+        runtime = TopologyRuntime(
+            topologies.grid(rate=800.0, latency_s=0.001), cluster, sim=sim, config=config
+        )
+        runtime.deploy()
+        runtime.start()
+        sim.run(until=10.0)
+        counts["events"] = _simulated_events(runtime)
+        # ~800 trees/s for 10 s, nearly all completed (loss-free steady state).
+        assert runtime.acker.stats.completed > 7_000
+        return len(runtime.log.sink_receipts)
+
+    receipts = benchmark.pedantic(simulate, rounds=5, iterations=1, warmup_rounds=1)
+    assert receipts > 20_000
+    engine_bench_recorder("grid_steady_state_acked", benchmark, events=counts["events"])
 
 
 def test_shard_scaling_cost(benchmark, engine_bench_recorder):

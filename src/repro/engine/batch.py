@@ -32,11 +32,24 @@ classic pop order entry for entry; the equivalence tests in
 ``tests/test_batch_equivalence.py`` pin both the logged streams and the
 executor counters.
 
-Batch stepping is automatically unavailable when data acking is enabled (the
-acker's XOR bookkeeping and the spout throttle make per-event timing
-observable) and the cascade declines whenever the runtime is not quiescent
-(control waves, backlogs, restarts, captures, multiple sources), falling back
-to the classic per-event path for that tick.
+Batch stepping stays engaged when data acking is on.  The heap tier calls the
+real :class:`~repro.reliability.acker.AckerService` at exactly the classic
+code points (register at each emit pop, anchor at each route, ack at each
+completion pop), evaluates the real spout-pending throttle per tick, and
+spills everything at or past a mid-cascade drain-timer horizon back to the
+kernel -- so it remains bit-exact.  The vectorized tier replays the acker XOR
+stream symbolically: a loss-free steady-state stretch anchors and acks every
+event of a tuple tree inside one sweep, so the per-tree ``bitwise_xor`` folds
+cancel to zero by construction and whole trees resolve without ever
+materializing a :class:`~repro.reliability.acker.PendingTree`; only events
+that cross the horizon fold real ids into the bulk acker APIs
+(``register_block`` / ``anchor_batch`` / ``ack_batch`` / ``settle_batch``).
+The cascade horizon is clamped to ``now + ack timeout`` so no tree a sweep
+registers can time out mid-stretch, and the cascade declines whenever the
+runtime is not quiescent (control waves, backlogs, replays in flight,
+restarts, captures, multiple sources), falling back to the classic per-event
+path for that tick -- loss/replay windows, fault injection and migrations
+always take the reference path.
 """
 
 from __future__ import annotations
@@ -182,14 +195,27 @@ class BatchStepper:
             return False  # another timer is due immediately; do not pass it
         if now0 > limit:  # pragma: no cover - defensive; run() never does this
             return False
+        acked = runtime.ack_data_events
+        if acked:
+            # Any tree a cascade registers schedules its timeout at
+            # ``tick + timeout >= now0 + timeout``; clamping the horizon there
+            # guarantees no timer the cascade itself creates can fire inside
+            # the stretch (already-pending trees bound ``horizon`` through
+            # their live timeout timers).
+            timeout_at = now0 + runtime.acker.timeout_s
+            if horizon is None or timeout_at < horizon:
+                horizon = timeout_at
 
-        if vectorized and self._cascade_vectorized(source, now0, limit, horizon):
+        if vectorized and self._cascade_vectorized(source, now0, limit, horizon, acked):
             return True
         if not strict:
             return False  # in-flight work present; only the vectorized tier ingests it
 
         log = runtime.log
         timing = runtime.timing
+        acker = runtime.acker
+        reliability = runtime.reliability
+        deliver = runtime.deliver
         record_receipt = log.record_sink_receipt
         record_emit = log.record_source_emit
         schedule_at_fast = sim.schedule_at_fast
@@ -202,6 +228,17 @@ class BatchStepper:
 
         while heap:
             t, _, kind, a, b, c = pop(heap)
+            if acked and horizon is not None and t >= horizon:
+                # A drain timer armed mid-cascade (throttle/backlog tick)
+                # pulled the horizon in: hand this entry back to the kernel in
+                # classic form so the drain tick observes classic state.
+                if kind == _ARRIVE:
+                    schedule_at_fast(t, deliver, (a.executor_id, b, c))
+                elif kind == _COMPLETE:
+                    schedule_at_fast(t, a._complete_data, (b,))
+                else:
+                    source._emit_timer = sim.schedule_at(t, source._emit_tick)
+                continue
             inline += 1
             if kind == _ARRIVE:
                 executor = a
@@ -224,7 +261,9 @@ class BatchStepper:
                 if type(executor) is SinkExecutor:
                     # Sink service: record the receipt (explicit timestamp --
                     # cascade pops are globally time-ordered, so the indexed
-                    # log stays monotone) and recycle the dead event.
+                    # log stays monotone), ack the tree, recycle the dead
+                    # event (a no-op for anchored events, as in the classic
+                    # sink path).
                     executor.received_count += 1
                     record_receipt(
                         root_id=event.root_id,
@@ -235,9 +274,17 @@ class BatchStepper:
                         at_time=t,
                     )
                     executor.processed_count += 1
+                    if acked and event.anchored:
+                        acker.ack(event.root_id, event.event_id)
                     recycle_event(event)
                 else:
                     task = executor.task
+                    acked_ev = acked and event.anchored
+                    if acked_ev:
+                        # The 1:1 restamp below mutates event_id; capture the
+                        # (root, id) pair the classic path acks after routing.
+                        ack_root = event.root_id
+                        ack_id = event.event_id
                     outputs = task.logic(event.payload, executor.state)
                     if outputs:
                         if len(outputs) == 1:
@@ -259,6 +306,8 @@ class BatchStepper:
                             executor.executor_id, task.name, children, t,
                             heap, seq, limit, horizon,
                         )
+                    if acked_ev:
+                        acker.ack(ack_root, ack_id)
                     executor.processed_count += 1
                     executor.busy_time_s += executor._service_time
                 # Drain the input queue exactly as _maybe_process would.
@@ -276,19 +325,37 @@ class BatchStepper:
             else:  # _EMIT: one source generation tick (mirrors _emit_tick)
                 source._sequence += 1
                 payload = source._payload(source._sequence)
-                event = Event.data(
-                    source_task=source.task.name,
-                    payload=payload,
-                    created_at=t,
-                    anchored=False,
-                )
-                source.emitted_count += 1
-                record_emit(event.root_id, source.task.name, replay_count=0,
-                            from_backlog=False, at_time=t)
-                seq = self._route_inline(
-                    source.executor_id, source.task.name, (event,), t,
-                    heap, seq, limit, horizon,
-                )
+                if acked and source._throttled():
+                    # Storm's max.spout.pending, evaluated against the live
+                    # pending count (trees register and complete in pop
+                    # order, so the trajectory is exactly the classic one).
+                    if reliability.throttled_ticks_generate_backlog:
+                        source._backlog.append(payload)
+                    else:
+                        source.skipped_ticks += 1
+                    horizon = self._inline_drain_timer(source, t, now0, horizon)
+                elif acked and (source._backlog or source._replay_queue):
+                    # Preserve ordering behind the backlog a throttled tick
+                    # started, exactly as _tick() would.
+                    source._backlog.append(payload)
+                    horizon = self._inline_drain_timer(source, t, now0, horizon)
+                else:
+                    event = Event.data(
+                        source_task=source.task.name,
+                        payload=payload,
+                        created_at=t,
+                        anchored=acked,
+                    )
+                    if acked:
+                        acker.register(event.root_id, at_time=t)
+                        source._cache[event.root_id] = payload
+                    source.emitted_count += 1
+                    record_emit(event.root_id, source.task.name, replay_count=0,
+                                from_backlog=False, at_time=t)
+                    seq = self._route_inline(
+                        source.executor_id, source.task.name, (event,), t,
+                        heap, seq, limit, horizon,
+                    )
                 # Re-arm: same rate evaluation _arm_emit_timer performs at t.
                 profile = source.profile
                 rate = float(profile.rate_at(t)) if profile is not None else source.rate
@@ -309,9 +376,38 @@ class BatchStepper:
         self.inline_events += inline
         return True
 
+    def _inline_drain_timer(
+        self, source: SourceExecutor, t: float, now0: float, horizon: Optional[float]
+    ) -> Optional[float]:
+        """Arm the source's backlog drain timer from inside a cascade.
+
+        Mirrors ``SourceExecutor._ensure_drain_timer`` evaluated at simulated
+        time ``t`` (the kernel clock still sits at ``now0``, hence the
+        start-delay offset).  Returns the new cascade horizon: the timer's
+        first fire pulls it in, so every materialized entry at or past it is
+        spilled back to the kernel and the drain tick observes classic state.
+        """
+        drain = source._drain_timer
+        if drain is not None and drain.active:
+            return horizon
+        runtime = self.runtime
+        period = 1.0 / max(source.rate, runtime.timing.source_max_burst_rate)
+        source._drain_timer = runtime.sim.every(
+            period, source._drain_tick, start_delay=(t - now0) + period
+        )
+        first = t + period
+        if horizon is None or first < horizon:
+            return first
+        return horizon
+
     # ------------------------------------------------------- vectorized tier
     def _cascade_vectorized(
-        self, source: SourceExecutor, now0: float, limit: float, horizon: Optional[float]
+        self,
+        source: SourceExecutor,
+        now0: float,
+        limit: float,
+        horizon: Optional[float],
+        acked: bool,
     ) -> bool:
         """Sweep the whole stretch with per-task-instance arrays (numpy).
 
@@ -334,11 +430,23 @@ class BatchStepper:
         re-engage between control-plane windows when the pipeline is never
         fully drained.
 
+        Under data acking (``acked``) the sweep additionally replays the acker
+        XOR stream: events that are both anchored and acked inside the stretch
+        cancel symbolically (per-root counters, no id ever drawn), events that
+        cross the horizon fold real ids into per-root residuals, and the
+        whole stream commits through the acker's bulk APIs — trees that live
+        and die inside the sweep never materialize a ``PendingTree`` at all.
+        The emission schedule is capped at the spout-pending headroom
+        (pending only shrinks mid-stretch, so the cap is provably
+        throttle-free) and adopted in-flight events keep their original
+        objects/ids so their trees' hashes stay exact.
+
         Returns False (nothing mutated) when an executor subclass it does not
         model is present, or when in-flight work includes anything beyond
-        plain unanchored data events (control waves, sink batches,
-        state-store latencies); :meth:`try_cascade` then falls back to the
-        per-event tier or the classic path.
+        plain data events of live trees (control waves, sink batches,
+        state-store latencies, replayed events, events of timed-out trees);
+        :meth:`try_cascade` then falls back to the per-event tier or the
+        classic path.
         """
         np = _np
         runtime = self.runtime
@@ -347,6 +455,13 @@ class BatchStepper:
             kind = type(executor)
             if kind is not Executor and kind is not SinkExecutor and kind is not SourceExecutor:
                 return False
+        acker = runtime.acker
+        if acked:
+            headroom = source.pending_headroom()
+            if headroom == 0:
+                return False  # throttled tick: the classic/heap paths handle it exactly
+        else:
+            headroom = None
         sim = runtime.sim
         router = runtime.router
 
@@ -369,7 +484,7 @@ class BatchStepper:
                     event = entry[3][0]
                     if (
                         event.kind is not _DATA_KIND
-                        or event.anchored
+                        or event.anchored is not acked
                         or event.replay_count
                         or not executor._busy
                         or executor in busy_completions
@@ -380,7 +495,7 @@ class BatchStepper:
                     target, event, sender_id = entry[3]
                     if (
                         event.kind is not _DATA_KIND
-                        or event.anchored
+                        or event.anchored is not acked
                         or event.replay_count
                         or target not in executors
                         or type(executors[target]) is SourceExecutor
@@ -392,7 +507,11 @@ class BatchStepper:
                     if target not in executors or type(executors[target]) is SourceExecutor:
                         return False
                     for when, event in pairs[index:]:
-                        if event.kind is not _DATA_KIND or event.anchored or event.replay_count:
+                        if (
+                            event.kind is not _DATA_KIND
+                            or event.anchored is not acked
+                            or event.replay_count
+                        ):
                             return False
                         inflight.append((when, target, event, sender_id))
                 else:
@@ -400,7 +519,11 @@ class BatchStepper:
             for executor in executors.values():
                 if executor in busy_completions:
                     for event, _sender in executor.input_queue:
-                        if event.kind is not _DATA_KIND or event.anchored or event.replay_count:
+                        if (
+                            event.kind is not _DATA_KIND
+                            or event.anchored is not acked
+                            or event.replay_count
+                        ):
                             return False
                 elif executor._busy or executor.input_queue:
                     return False  # busy/queued without a modelled completion
@@ -428,7 +551,15 @@ class BatchStepper:
                 break
             source.rate = rate
             after = tick + 1.0 / rate
-            if after <= limit and after < hor:
+            if (
+                after <= limit
+                and after < hor
+                and (headroom is None or len(tick_times) < headroom)
+            ):
+                # The headroom cap is pessimistic but exact: pending can only
+                # shrink as trees complete mid-stretch, so a stretch emitting
+                # at most ``limit - pending`` roots never reaches a tick the
+                # classic path would have throttled.
                 tick = after
             else:
                 next_tick = after
@@ -463,6 +594,26 @@ class BatchStepper:
             root_emitted.append(event.root_emitted_at)
             return idx
 
+        #: Acked-mode bookkeeping.  Events wholly inside the sweep never draw
+        #: an id: their anchor/ack XOR contributions cancel by construction,
+        #: so only per-root-index *counts* are kept (``anch_counts`` /
+        #: ``ack_counts``, allocated after ingestion fixes the index space).
+        #: Real ids appear exactly where the classic path would leave them
+        #: observable: spilled events fold into ``resid`` (new roots, becomes
+        #: the registered tree's hash) or ``anchor_pairs`` (pre-existing
+        #: trees); adopted in-flight events keep their original ids —
+        #: ``ack_pairs`` removes them from their trees when they complete
+        #: in-sweep, ``adopted_by_id`` hands the original object back if they
+        #: spill again.
+        if acked:
+            adopted_by_id: Dict[int, Event] = {}
+            anchor_pairs: List[Tuple[int, int]] = []
+            ack_pairs: List[Tuple[int, int]] = []
+        else:
+            adopted_by_id = None
+            anchor_pairs = ack_pairs = None
+        anch_counts = ack_counts = resid = spill_counts = None
+
         # ---- Phase B: route/serve every task instance in topological order.
         plans = router._route_plans
         channel_base = router._channel_base
@@ -478,8 +629,10 @@ class BatchStepper:
         deliver = runtime.deliver
 
         #: target executor id -> per-channel (deliveries, root idx, parent
-        #: completion times, sender id) arrays, appended in topological order.
-        arrivals: Dict[str, List[Tuple[Any, Any, Any, str]]] = {}
+        #: completion times, sender id, event ids or None) arrays, appended in
+        #: topological order.  The ids slot is non-None only for adopted
+        #: in-flight events under acking (sweep-born events stay symbolic).
+        arrivals: Dict[str, List[Tuple[Any, Any, Any, str, Any]]] = {}
         field_cache: Dict[int, Any] = {}
 
         def field_indices(num: int):
@@ -539,14 +692,29 @@ class BatchStepper:
                 cut = int(np.searchsorted(deliveries, cut_value, side=cut_side))
             if cut:
                 arrivals.setdefault(target, []).append(
-                    (deliveries[:cut], roots[:cut], parent_c[:cut], sender_id)
+                    (deliveries[:cut], roots[:cut], parent_c[:cut], sender_id, None)
                 )
                 inline_count += cut
+                if acked:
+                    # Symbolic anchors: each in-bound shipped event will also
+                    # be acked (in-sweep or converted on spill), so no id is
+                    # drawn here — only the per-root count advances.
+                    np.add.at(anch_counts, roots[:cut], 1)
             for i in range(cut, n):  # beyond the bound: classic deliveries
                 r = int(roots[i])
+                eid_new = next_event_id()
+                if acked:
+                    if r < n_roots:
+                        # A new root's spilled event: its real id is part of
+                        # the tree hash register_block will materialize.
+                        resid[r] ^= eid_new
+                        spill_counts[r] += 1
+                        anch_counts[r] += 1
+                    else:
+                        anchor_pairs.append((root_ids[r], eid_new))
                 event = Event(
-                    next_event_id(), root_ids[r], _DATA_KIND, task_name,
-                    payloads[r], float(parent_c[i]), root_emitted[r], None, None, 0, False,
+                    eid_new, root_ids[r], _DATA_KIND, task_name,
+                    payloads[r], float(parent_c[i]), root_emitted[r], None, None, 0, acked,
                 )
                 schedule_at_fast(float(deliveries[i]), deliver, (target, event, sender_id))
 
@@ -596,16 +764,27 @@ class BatchStepper:
             for when, target, event, sender_id in inflight:
                 if when <= limit and when < hor:
                     idx = adopt(event)
+                    if acked:
+                        # The event's id is already folded into its pending
+                        # tree: carry it so the in-sweep ack removes exactly
+                        # it, and keep the object (recycle would refuse it
+                        # anyway) in case it spills past the bound again.
+                        ids_arr = np.array([event.event_id], dtype=np.uint64)
+                        adopted_by_id[int(event.event_id)] = event
+                    else:
+                        ids_arr = None
                     arrivals.setdefault(target, []).append(
                         (
                             np.array([when]),
                             np.array([idx], dtype=np.intp),
                             np.array([event.created_at]),
                             sender_id,
+                            ids_arr,
                         )
                     )
                     inline_count += 1
-                    recycle_event(event)
+                    if not acked:
+                        recycle_event(event)
                 else:
                     schedule_at_fast(when, deliver, (target, event, sender_id))
             for executor, (when, event) in busy_completions.items():
@@ -616,6 +795,15 @@ class BatchStepper:
                 seeded[executor.executor_id] = (
                     when, entries, [adopt(ev) for ev, _ in entries]
                 )
+
+        if acked:
+            # Ingestion fixed the root-index space; the counters can now be
+            # sized once (ship and the executor loop mutate them in place).
+            n_total = len(payloads)
+            anch_counts = np.zeros(n_total, dtype=np.int64)
+            ack_counts = np.zeros(n_total, dtype=np.int64)
+            resid = [0] * n_roots
+            spill_counts = [0] * n_roots
 
         route_stream(
             source.executor_id, source_name,
@@ -636,7 +824,7 @@ class BatchStepper:
                 service = executor._service_time
                 if chans:
                     if len(chans) == 1:
-                        arr, roots, parents, sole_sender = chans[0]
+                        arr, roots, parents, sole_sender, aids = chans[0]
                         senders = None
                     else:
                         arr = np.concatenate([c[0] for c in chans])
@@ -645,15 +833,28 @@ class BatchStepper:
                         senders = np.concatenate(
                             [np.full(len(c[0]), i, dtype=np.intp) for i, c in enumerate(chans)]
                         )
+                        if acked and any(c[4] is not None for c in chans):
+                            aids = np.concatenate(
+                                [
+                                    c[4]
+                                    if c[4] is not None
+                                    else np.zeros(len(c[0]), dtype=np.uint64)
+                                    for c in chans
+                                ]
+                            )
+                        else:
+                            aids = None
                         order = np.argsort(arr, kind="stable")
                         arr = arr[order]
                         roots = roots[order]
                         parents = parents[order]
                         senders = senders[order]
+                        if aids is not None:
+                            aids = aids[order]
                         sole_sender = None
                     n = len(arr)
                 else:
-                    arr = roots = parents = senders = sole_sender = None
+                    arr = roots = parents = senders = sole_sender = aids = None
                     n = 0
                 if seed is not None:
                     # Seeded prefix: the in-service completion is pinned at
@@ -671,8 +872,15 @@ class BatchStepper:
                         prev = prev + service
                         sc[j] = prev
                     prev_init = prev
+                    sids = (
+                        np.fromiter(
+                            (ev.event_id for ev, _ in sevents), dtype=np.uint64, count=m
+                        )
+                        if acked
+                        else None
+                    )
                 else:
-                    sevents = sidx = None
+                    sevents = sidx = sids = None
                     m = 0
                     prev_init = None
                 if n:
@@ -700,12 +908,20 @@ class BatchStepper:
                 if m and n:
                     completions = np.concatenate([sc, ncomp])
                     all_roots = np.concatenate([np.asarray(sidx, dtype=np.intp), roots])
+                    if acked:
+                        all_ids = np.concatenate(
+                            [sids, aids if aids is not None else np.zeros(n, dtype=np.uint64)]
+                        )
+                    else:
+                        all_ids = None
                 elif m:
                     completions = sc
                     all_roots = np.asarray(sidx, dtype=np.intp)
+                    all_ids = sids
                 else:
                     completions = ncomp
                     all_roots = roots
+                    all_ids = aids
                 total = m + n
                 if service == 0.0 and m == 0:
                     k = total  # inline arrivals complete at their own (in-bound) times
@@ -719,6 +935,18 @@ class BatchStepper:
                     else:
                         k = int(np.searchsorted(completions, cut_value, side=cut_side))
                 inline_count += k
+                if acked and k:
+                    # Every in-sweep completion acks its event (the classic
+                    # path acks at both process and sink completions):
+                    # symbolic for sweep-born events — the count cancels the
+                    # ship-time anchor — and a real-id ack for adopted events,
+                    # whose ids are already in their trees' hashes.
+                    np.add.at(ack_counts, all_roots[:k], 1)
+                    if all_ids is not None:
+                        for j in np.flatnonzero(all_ids[:k]):
+                            r = int(all_roots[j])
+                            ack_counts[r] -= 1
+                            ack_pairs.append((root_ids[r], int(all_ids[j])))
                 if type(executor) is SinkExecutor:
                     if k:
                         sink_recs.append((completions[:k], all_roots[:k], executor))
@@ -755,10 +983,25 @@ class BatchStepper:
                             if senders is None
                             else chans[int(senders[j])][3]
                         )
+                        if aids is not None and aids[j]:
+                            # Adopted event crossing the bound again: hand the
+                            # original object back so the id folded into its
+                            # tree stays the one the classic path will ack.
+                            return adopted_by_id[int(aids[j])], sid
+                        eid_new = next_event_id()
+                        if acked:
+                            if r < n_roots:
+                                resid[r] ^= eid_new
+                                spill_counts[r] += 1
+                            else:
+                                # Convert the ship-time symbolic anchor into a
+                                # real one on the pre-existing tree.
+                                anch_counts[r] -= 1
+                                anchor_pairs.append((root_ids[r], eid_new))
                         event = Event(
-                            next_event_id(), root_ids[r], _DATA_KIND,
+                            eid_new, root_ids[r], _DATA_KIND,
                             executors[sid].task.name, payloads[r],
-                            float(parents[j]), root_emitted[r], None, None, 0, False,
+                            float(parents[j]), root_emitted[r], None, None, 0, acked,
                         )
                         return event, sid
 
@@ -770,6 +1013,52 @@ class BatchStepper:
                     queue_append = executor.input_queue.append
                     for i in range(k + 1, total):
                         queue_append(event_at(i))
+
+        # ---- Commit the ack stream: one bulk acker update per category.
+        if acked:
+            # New roots whose every event was anchored *and* acked inside the
+            # sweep resolved to zero by construction — stats only, no
+            # PendingTree, no timer.  The rest materialize with their exact
+            # classic end-of-stretch state (hash = XOR of outstanding spilled
+            # ids) and back-dated timeout timers.
+            resolved_count = 0
+            resolved_anchors = 0
+            resolved_acks = 0
+            u_idx: List[int] = []
+            for r in range(n_roots):
+                if spill_counts[r] == 0 and anch_counts[r] > 0:
+                    resolved_count += 1
+                    resolved_anchors += int(anch_counts[r])
+                    resolved_acks += int(ack_counts[r])
+                else:
+                    u_idx.append(r)
+            acker.absorb_resolved(resolved_count, resolved_anchors, resolved_acks)
+            if u_idx:
+                u_roots = [root_ids[r] for r in u_idx]
+                acker.register_block(
+                    u_roots,
+                    [tick_times[r] for r in u_idx],
+                    [resid[r] for r in u_idx],
+                    [int(anch_counts[r]) for r in u_idx],
+                    [int(ack_counts[r]) for r in u_idx],
+                )
+                source.cache_block(u_roots, [payloads[r] for r in u_idx])
+            # Pre-existing trees: real anchors first (spilled ids enter the
+            # hashes), then the cancelled symbolic pairs, then the real acks —
+            # so no tree's hash can transiently return to zero before all its
+            # outstanding ids are in place.  Completions fire the classic
+            # on_complete (source drops its cached payloads).
+            if anchor_pairs:
+                acker.anchor_batch(anchor_pairs)
+            if len(payloads) > n_roots:
+                adopted_idx = range(n_roots, len(payloads))
+                acker.settle_batch(
+                    [root_ids[r] for r in adopted_idx],
+                    [int(anch_counts[r]) for r in adopted_idx],
+                    [int(ack_counts[r]) for r in adopted_idx],
+                )
+            if ack_pairs:
+                acker.ack_batch(ack_pairs)
 
         # ---- Phase C: receipts merged into the log in global time order.
         if sink_recs:
@@ -838,14 +1127,17 @@ class BatchStepper:
     ) -> int:
         """Route ``events`` at simulated time ``now`` without the kernel.
 
-        Mirrors Router.route()/_route_general for the non-acked case: same
-        grouping selection, same sole-delivery id re-stamp vs per-edge copy,
-        same keyed jitter draw and per-channel FIFO bump (via the router's
-        own ``_delivery_time``).  In-bound deliveries become cascade ARRIVE
-        entries; the rest spill to the kernel as classic deliveries.
+        Mirrors Router.route()/_route_general: same grouping selection, same
+        sole-delivery id re-stamp vs per-edge copy, same anchor-at-route-time
+        acker call for anchored events, same keyed jitter draw and per-channel
+        FIFO bump (via the router's own ``_delivery_time``).  In-bound
+        deliveries become cascade ARRIVE entries; the rest spill to the
+        kernel as classic deliveries.
         """
         runtime = self.runtime
         router = runtime.router
+        acker = runtime.acker
+        ack_data = runtime.ack_data_events
         plan = router._route_plans.get(task_name)
         if plan is None:
             plan = router._build_plan(task_name)
@@ -876,6 +1168,8 @@ class BatchStepper:
                 if single_edge and len(targets) == 1:
                     target = targets[0]
                     event.event_id = next_event_id()
+                    if ack_data and event.anchored and event.kind is _DATA_KIND:
+                        acker.anchor(event.root_id, event.event_id)
                     d = delivery_time(sender_id, target, now)
                     router.routed_count += 1
                     if d <= limit and (horizon is None or d < horizon):
@@ -886,6 +1180,8 @@ class BatchStepper:
                     continue
                 for target in targets:
                     copy = event.copy_for_edge()
+                    if ack_data and copy.anchored and copy.kind is _DATA_KIND:
+                        acker.anchor(copy.root_id, copy.event_id)
                     d = delivery_time(sender_id, target, now)
                     router.routed_count += 1
                     if d <= limit and (horizon is None or d < horizon):

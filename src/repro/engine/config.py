@@ -127,7 +127,9 @@ class RuntimeConfig:
     #: kernel callback materializes a whole source-tick cohort inline) instead
     #: of per-event kernel callbacks.  Implies :attr:`keyed_network_jitter`.
     #: Logged results are equivalent to the classic kernel modulo event-id
-    #: assignment order; automatically disabled when data acking is on.
+    #: assignment order.  Engaged under data acking too: the stepper replays
+    #: the acker XOR stream in bulk and disengages around the windows where
+    #: per-event ack timing is observable (loss, replay, migrations).
     batch_stepping: bool = False
     #: Within a batch-stepping cascade, sweep whole steady-state stretches
     #: with numpy array arithmetic (struct-of-arrays per task instance)
@@ -142,10 +144,11 @@ class RuntimeConfig:
     #: backend instead of lists of record objects.  Queries are
     #: bit-compatible (lazy row views materialize records on access) and the
     #: vectorized cascade appends whole arrays without building any per-event
-    #: object.  Off by default: the committed ``results/`` figures were
-    #: recorded against the classic row store.  Ignored (falls back to the
-    #: classic log) when numpy is unavailable.
-    columnar_log: bool = False
+    #: object.  On by default — the committed ``results/`` figures are
+    #: byte-identical across both backends; set to ``False`` for the classic
+    #: row store.  Ignored (falls back to the classic log) when numpy is
+    #: unavailable.
+    columnar_log: bool = True
     #: Create a :class:`repro.obs.Telemetry` on the runtime (metrics registry
     #: + control-plane span tracer, see :mod:`repro.obs`).  Off by default:
     #: with the flag off ``runtime.telemetry`` is ``None`` and every

@@ -33,7 +33,7 @@ from __future__ import annotations
 import copy
 from collections import deque
 from enum import Enum
-from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dataflow.event import CheckpointAction, Event, EventKind, next_event_id, recycle_event
 from repro.dataflow.task import SinkTask, SourceTask, Task
@@ -572,6 +572,31 @@ class SourceExecutor(Executor):
         if not limit:
             return False
         return self.runtime.acker.pending_count >= limit
+
+    def pending_headroom(self) -> Optional[int]:
+        """How many roots the spout-pending throttle still admits (None = unlimited).
+
+        The batch cascade uses this as a pessimistic per-stretch cap: the
+        classic path re-checks the throttle before every emit, and pending can
+        only *shrink* as trees complete, so a stretch that emits at most the
+        current headroom provably never hits a tick the classic path would
+        have throttled.
+        """
+        if not self.runtime.ack_data_events:
+            return None
+        limit = self.runtime.reliability.max_spout_pending
+        if not limit:
+            return None
+        return max(0, limit - self.runtime.acker.pending_count)
+
+    def cache_block(self, root_ids: Sequence[int], payloads: Sequence[Any]) -> None:
+        """Cache many root payloads for replay in one call (batched spout accounting).
+
+        Mirrors the per-emit ``self._cache[root_id] = payload`` bookkeeping in
+        :meth:`_emit_new` for roots the batch cascade registered in bulk."""
+        cache = self._cache
+        for root_id, payload in zip(root_ids, payloads):
+            cache[int(root_id)] = payload
 
     def _tick(self) -> None:
         self._sequence += 1

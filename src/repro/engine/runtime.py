@@ -138,10 +138,12 @@ class TopologyRuntime:
         self.router = Router(self)
         #: Batch-stepping cascade (perf mode): materializes quiescent
         #: steady-state stretches inline instead of per-event kernel
-        #: callbacks.  Only armed when configured and when data acking is
-        #: off (per-event ack timing is observable by the acker/throttle).
+        #: callbacks.  Engaged under data acking too: the stepper replays the
+        #: acker XOR stream in bulk (per-tree folds, back-dated timers, exact
+        #: spout-pending accounting) and disengages around the windows where
+        #: per-event ack timing is observable — loss, replay, migrations.
         self.batch_stepper = None
-        if self.config.batch_stepping and not self.reliability.ack_all_events:
+        if self.config.batch_stepping:
             self.batch_stepper = BatchStepper(self)
         # Cohort handler for Simulator.run_batched(): same-time deliveries
         # are dispatched with one executor lookup per consecutive target.

@@ -113,8 +113,20 @@ class Telemetry:
             self.sample_queues(runtime)
 
             stats = runtime.acker.stats
-            for field in ("registered", "completed", "failed", "anchors", "acks", "late_acks"):
+            for field in (
+                "registered",
+                "completed",
+                "failed",
+                "anchors",
+                "acks",
+                "late_acks",
+                "bulk_anchors",
+                "bulk_acks",
+            ):
                 registry.counter("acker", field).set_total(getattr(stats, field))
+            registry.counter("acker", "replays").set_total(
+                sum(s.replayed_count for s in runtime.source_executors)
+            )
             registry.gauge("acker", "pending_trees").set(runtime.acker.pending_count)
 
             waves: Dict[tuple, int] = {}

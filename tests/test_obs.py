@@ -185,6 +185,25 @@ class TestControlPlaneTrace:
         assert snapshot[("router", "deliveries")]["value"] > 0
         assert snapshot[("router", "route_cache_hits")]["value"] > 0
 
+    def test_acker_bulk_counters_scraped_without_double_count(self, traced):
+        telemetry = traced.telemetry
+        telemetry.scrape(traced.runtime)
+        snapshot = {
+            (s["subsystem"], s["name"]): s["value"]
+            for s in telemetry.registry.snapshot()
+            if not s["labels"]
+        }
+        for name in ("bulk_anchors", "bulk_acks", "replays"):
+            assert ("acker", name) in snapshot
+        before = {k: v for k, v in snapshot.items() if k[0] == "acker"}
+        telemetry.scrape(traced.runtime)
+        after = {
+            (s["subsystem"], s["name"]): s["value"]
+            for s in telemetry.registry.snapshot()
+            if not s["labels"] and s["subsystem"] == "acker"
+        }
+        assert after == before
+
     def test_same_seed_canonical_trace_is_byte_identical(self, traced):
         again = _traced_run()
         assert canonical_trace_text(traced.telemetry) == canonical_trace_text(
